@@ -1,0 +1,103 @@
+"""Ablation: global vs partitioned semi-fixed-priority scheduling.
+
+Quantifies Section IV-B's design decision — RT-Seed uses P-RMWP rather
+than G-RMWP because "global scheduling ... allows tasks to migrate among
+processors, resulting in high overheads".  The reference simulator runs
+the same random task sets both ways on 4 CPUs and counts migrations,
+preemptions, and deadline misses; a per-migration cache penalty turns
+the migration count into the overhead the paper is avoiding.
+"""
+
+from conftest import emit_report
+
+from repro.bench.reporting import format_table
+from repro.model import TaskSet, TaskSetGenerator
+from repro.sched import PRMWP, ScheduleSimulator
+from repro.sched.partition import PartitioningError
+
+N_CPUS = 4
+TRIALS = 25
+PERIOD_MENU = [10.0, 20.0, 40.0, 80.0]
+PER_MIGRATION_US = 50.0  # cache reload estimate per migration
+
+
+def compare(utilization):
+    totals = {
+        "global": {"migrations": 0, "misses": 0, "sets": 0},
+        "partitioned": {"migrations": 0, "misses": 0, "sets": 0},
+    }
+    for trial in range(TRIALS):
+        generator = TaskSetGenerator(
+            seed=trial * 613 + int(utilization * 100),
+            harmonic_periods=PERIOD_MENU,
+        )
+        taskset = generator.extended_task_set(
+            8, utilization * N_CPUS, n_processors=N_CPUS
+        )
+        # global run
+        global_result = ScheduleSimulator(
+            taskset, policy="rm", global_sched=True
+        ).run(until=taskset.hyperperiod)
+        totals["global"]["migrations"] += global_result.migrations
+        totals["global"]["misses"] += len(global_result.deadline_misses)
+        totals["global"]["sets"] += 1
+        # partitioned run (skip sets the partitioner rejects)
+        try:
+            partitions = PRMWP(heuristic="first_fit").partition(taskset)
+        except PartitioningError:
+            continue
+        assignment = {}
+        for cpu, tasks in enumerate(partitions):
+            for task in tasks:
+                assignment[task.name] = cpu
+        part_result = ScheduleSimulator(
+            taskset, policy="rm", assignment=assignment
+        ).run(until=taskset.hyperperiod)
+        totals["partitioned"]["migrations"] += part_result.migrations
+        totals["partitioned"]["misses"] += len(
+            part_result.deadline_misses
+        )
+        totals["partitioned"]["sets"] += 1
+    return totals
+
+
+def test_ablation_global_vs_partitioned(benchmark):
+    results = benchmark.pedantic(
+        lambda: {u: compare(u) for u in (0.4, 0.5, 0.6)},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for utilization, totals in results.items():
+        for mode in ("partitioned", "global"):
+            data = totals[mode]
+            sets = max(data["sets"], 1)
+            rows.append([
+                f"{utilization:.1f}",
+                mode,
+                data["sets"],
+                f"{data['migrations'] / sets:.1f}",
+                f"{data['migrations'] / sets * PER_MIGRATION_US:.0f}",
+                data["misses"],
+            ])
+    emit_report(
+        "ablation_global_vs_partitioned",
+        format_table(
+            ["U/CPU", "mode", "sets", "migrations/set",
+             f"migration cost [us/set @{PER_MIGRATION_US:.0f}us]",
+             "misses"],
+            rows,
+            title="Ablation: G-RMWP-style global vs P-RMWP partitioned "
+                  "(4 CPUs, hyperperiod horizon)",
+        ),
+    )
+
+    for utilization, totals in results.items():
+        # partitioned tasks never migrate — by construction
+        assert totals["partitioned"]["migrations"] == 0
+        # neither mode misses deadlines at these utilizations on the
+        # sets it accepted
+        assert totals["partitioned"]["misses"] == 0
+    # global scheduling migrates (the overhead the paper avoids)
+    assert sum(t["global"]["migrations"] for t in results.values()) > 0

@@ -1,0 +1,86 @@
+"""Ablation: schedulability of the algorithm family.
+
+Not a paper figure — the design-choice study DESIGN.md calls for:
+acceptance ratio vs utilization for RM (sufficient bound), RM (exact
+RTA), RMWP (uniprocessor), P-RMWP on 4 CPUs (first-fit and worst-fit),
+and the G-RMWP comparator, over seeded random extended-imprecise task
+sets.  It quantifies two paper claims: (i) RMWP costs nothing in
+schedulability over exact RM for the m+w workload, and (ii) partitioned
+scheduling scales semi-fixed-priority scheduling to many cores.
+"""
+
+from conftest import emit_report
+
+from repro.bench.reporting import format_series
+from repro.model import TaskSet, TaskSetGenerator
+from repro.sched import GRMWP, PRMWP, RMWP, RateMonotonic
+
+UTILIZATIONS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+TRIALS = 40
+N_TASKS = 6
+N_CPUS = 4
+
+
+def acceptance_ratios():
+    algorithms = {
+        "RM-LL": lambda ts: RateMonotonic(exact=False).is_schedulable(
+            ts.tasks
+        ),
+        "RM-RTA": lambda ts: RateMonotonic(exact=True).is_schedulable(
+            ts.tasks
+        ),
+        "RMWP": lambda ts: RMWP.is_schedulable(ts.tasks),
+        "P-RMWP-FF": lambda ts: PRMWP(heuristic="first_fit").is_schedulable(
+            TaskSet(ts.tasks, n_processors=N_CPUS)
+        ),
+        "P-RMWP-WF": lambda ts: PRMWP(heuristic="worst_fit").is_schedulable(
+            TaskSet(ts.tasks, n_processors=N_CPUS)
+        ),
+        "G-RMWP": lambda ts: GRMWP.is_schedulable(
+            TaskSet(ts.tasks, n_processors=N_CPUS)
+        ),
+    }
+    series = {name: [] for name in algorithms}
+    for utilization in UTILIZATIONS:
+        counts = {name: 0 for name in algorithms}
+        for trial in range(TRIALS):
+            generator = TaskSetGenerator(
+                seed=trial * 7919 + int(utilization * 1000)
+            )
+            taskset = generator.extended_task_set(N_TASKS, utilization)
+            for name, accept in algorithms.items():
+                if accept(taskset):
+                    counts[name] += 1
+        for name in algorithms:
+            series[name].append((utilization, counts[name] / TRIALS))
+    return series
+
+
+def test_ablation_schedulability(benchmark):
+    series = benchmark.pedantic(acceptance_ratios, rounds=1, iterations=1)
+
+    emit_report(
+        "ablation_schedulability",
+        format_series(
+            "Ablation: acceptance ratio vs total utilization "
+            f"(n={N_TASKS} tasks, uniprocessor for RM*/RMWP, "
+            f"M={N_CPUS} for P-/G-RMWP, {TRIALS} trials/point)",
+            series,
+            unit="ratio",
+            value_format="{:.2f}",
+        ),
+    )
+
+    by_util = {name: dict(points) for name, points in series.items()}
+    for utilization in UTILIZATIONS:
+        # exact RTA dominates the sufficient bound
+        assert by_util["RM-RTA"][utilization] >= \
+            by_util["RM-LL"][utilization]
+        # RMWP never beats exact RM (same m+w workload, extra OD check)
+        assert by_util["RMWP"][utilization] <= \
+            by_util["RM-RTA"][utilization] + 1e-9
+        # partitioning onto 4 CPUs accepts at least the uniprocessor sets
+        assert by_util["P-RMWP-FF"][utilization] >= \
+            by_util["RMWP"][utilization] - 1e-9
+    # at high utilization, P-RMWP keeps accepting where RMWP saturates
+    assert by_util["P-RMWP-FF"][0.9] > by_util["RMWP"][0.9]

@@ -1,0 +1,42 @@
+"""Figure 3: remaining execution time under general vs semi-fixed-
+priority scheduling.
+
+Regenerates the two R_i(t) curves for the paper's canonical task
+(m = w = 250, T = 1000): under general scheduling R(0) = m + w and
+decreases monotonically; under semi-fixed-priority scheduling R(0) = m,
+the task sleeps from m to OD = D - w, and R jumps to w at the OD.
+"""
+
+from conftest import emit_report
+
+from repro.bench.reporting import format_table
+from repro.bench.traces import fig3_remaining_time_traces
+
+
+def _render(points):
+    return " -> ".join(f"({t:.0f}, {r:.0f})" for t, r in points)
+
+
+def test_fig03_remaining_time(benchmark):
+    traces = benchmark.pedantic(
+        fig3_remaining_time_traces, rounds=5, iterations=1
+    )
+
+    rows = [
+        ["general", _render(traces["general"])],
+        ["semi-fixed", _render(traces["semi_fixed"])],
+    ]
+    emit_report(
+        "fig03_remaining_time",
+        format_table(["scheduling", "R_i(t) break points (t, R)"], rows,
+                     title="Figure 3: remaining execution time"),
+    )
+
+    general = traces["general"]
+    semi = traces["semi_fixed"]
+    assert general[0] == (0.0, 500.0)
+    assert general[-1] == (500.0, 0.0)
+    assert semi[0] == (0.0, 250.0)
+    assert (250.0, 0.0) in semi
+    assert (750.0, 250.0) in semi
+    assert semi[-1] == (1000.0, 0.0)

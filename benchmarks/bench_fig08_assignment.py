@@ -1,0 +1,56 @@
+"""Figure 8: assigning 171 parallel optional parts to hardware threads.
+
+Regenerates the paper's occupancy maps for the three assignment
+policies on the Xeon Phi 3120A and asserts the exact per-core counts
+the figure describes.
+"""
+
+from conftest import emit_report
+
+from repro.bench.reporting import format_table
+from repro.core.policies import POLICIES
+from repro.hardware.xeonphi import xeon_phi_topology
+
+
+def test_fig08_assignment_maps(benchmark):
+    topology = xeon_phi_topology()
+
+    def assign_all():
+        return {
+            name: policy.assign(topology, 171)
+            for name, policy in POLICIES.items()
+        }
+
+    assignments = benchmark.pedantic(assign_all, rounds=10, iterations=1)
+
+    rows = []
+    occupancy = {}
+    for name, policy in POLICIES.items():
+        counts = policy.occupancy(topology, 171)
+        occupancy[name] = counts
+        rows.append([
+            name,
+            "".join(str(counts.get(core, 0)) for core in range(57)),
+        ])
+    emit_report(
+        "fig08_assignment",
+        format_table(
+            ["policy", "parts per core C0..C56"],
+            rows,
+            title="Figure 8: assignment of 171 parallel optional parts",
+        ),
+    )
+
+    # Figure 8(a): three hardware threads on every core
+    assert all(occupancy["one_by_one"][c] == 3 for c in range(57))
+    # Figure 8(b): four on C0-C27, three on C28, two on C29-C56
+    assert all(occupancy["two_by_two"][c] == 4 for c in range(28))
+    assert occupancy["two_by_two"][28] == 3
+    assert all(occupancy["two_by_two"][c] == 2 for c in range(29, 57))
+    # Figure 8(c): four on C0-C41, three on C42, none beyond
+    assert all(occupancy["all_by_all"][c] == 4 for c in range(42))
+    assert occupancy["all_by_all"][42] == 3
+    assert all(c not in occupancy["all_by_all"] for c in range(43, 57))
+    # every policy's first part lands on CPU 0 (the mandatory CPU)
+    for cpus in assignments.values():
+        assert cpus[0] == 0

@@ -1,0 +1,48 @@
+"""Figure 10: overhead of beginning the mandatory part (Δm).
+
+Paper shape: approximately constant in np (it depends on the number of
+tasks, and n = 1 here); no load < CPU load < CPU-Memory load, with the
+CPU-Memory load's cache pollution hurting the post-sleep wake-up most.
+"""
+
+from conftest import emit_report
+
+from repro.bench.overheads import figure_series, run_overhead_experiment
+from repro.bench.reporting import format_series
+from repro.hardware.loads import BackgroundLoad
+
+
+def test_fig10_mandatory_overhead(sweep, benchmark):
+    benchmark.pedantic(
+        run_overhead_experiment,
+        args=(16,),
+        kwargs={"n_jobs": 3},
+        rounds=3,
+        iterations=1,
+    )
+
+    sections = []
+    for load in BackgroundLoad:
+        series = figure_series(sweep, "m", load)
+        sections.append(
+            format_series(f"({load.label})", series, unit="us")
+        )
+    emit_report(
+        "fig10_mandatory",
+        "Figure 10: overhead of beginning the mandatory part [us]\n\n"
+        + "\n\n".join(sections),
+    )
+
+    # shape: flat in np; no load < CPU < CPU-Memory at every np
+    for load in BackgroundLoad:
+        series = figure_series(sweep, "m", load)["one_by_one"]
+        values = [v for _np, v in series]
+        assert max(values) < 1.6 * min(values), "Δm should be ~flat in np"
+    for policy in ("one_by_one", "two_by_two", "all_by_all"):
+        none = dict(figure_series(sweep, "m", BackgroundLoad.NONE)[policy])
+        cpu = dict(figure_series(sweep, "m", BackgroundLoad.CPU)[policy])
+        mem = dict(
+            figure_series(sweep, "m", BackgroundLoad.CPU_MEMORY)[policy]
+        )
+        for np_ in none:
+            assert none[np_] < cpu[np_] < mem[np_]

@@ -1,0 +1,43 @@
+"""Figure 11: overhead of switching the mandatory thread to the optional
+thread (Δs).
+
+Paper shape: grows with np under no load (scheduler pressure from the
+wake burst, sharpest toward np = 228); approximately constant — and
+similar — under CPU and CPU-Memory load.
+"""
+
+from conftest import emit_report
+
+from repro.bench.overheads import figure_series, run_overhead_experiment
+from repro.bench.reporting import format_series
+from repro.hardware.loads import BackgroundLoad
+
+
+def test_fig11_switch_overhead(sweep, benchmark):
+    benchmark.pedantic(
+        run_overhead_experiment,
+        args=(16,),
+        kwargs={"n_jobs": 3, "policy": "two_by_two"},
+        rounds=3,
+        iterations=1,
+    )
+
+    sections = []
+    for load in BackgroundLoad:
+        series = figure_series(sweep, "s", load)
+        sections.append(
+            format_series(f"({load.label})", series, unit="us")
+        )
+    emit_report(
+        "fig11_switch",
+        "Figure 11: overhead of switching mandatory -> optional thread "
+        "[us]\n\n" + "\n\n".join(sections),
+    )
+
+    # shape: rising under no load, ~flat under both loads
+    no_load = figure_series(sweep, "s", BackgroundLoad.NONE)["one_by_one"]
+    assert no_load[-1][1] > 3.0 * no_load[0][1]
+    for load in (BackgroundLoad.CPU, BackgroundLoad.CPU_MEMORY):
+        series = figure_series(sweep, "s", load)["one_by_one"]
+        values = [v for _np, v in series]
+        assert max(values) < 1.5 * min(values)

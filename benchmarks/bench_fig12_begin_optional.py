@@ -1,0 +1,60 @@
+"""Figure 12: overhead of beginning the parallel optional parts (Δb).
+
+Paper shape: linear in np (one priced ``pthread_cond_signal`` per part,
+O(np) total); the absolute overhead under CPU load *exceeds* CPU-Memory
+load — the signal path is branch-heavy and the CPU load's infinite loop
+saturates the branch units.  Differences between assignment policies
+are small.
+"""
+
+from conftest import emit_report
+
+from repro.bench.overheads import figure_series, run_overhead_experiment
+from repro.bench.reporting import format_series
+from repro.hardware.loads import BackgroundLoad
+
+
+def test_fig12_begin_optional_overhead(sweep, benchmark):
+    benchmark.pedantic(
+        run_overhead_experiment,
+        args=(32,),
+        kwargs={"n_jobs": 3},
+        rounds=3,
+        iterations=1,
+    )
+
+    sections = []
+    for load in BackgroundLoad:
+        series = {
+            policy: [(np_, value / 1000.0) for np_, value in points]
+            for policy, points in figure_series(sweep, "b", load).items()
+        }
+        sections.append(
+            format_series(f"({load.label})", series, unit="ms",
+                          value_format="{:.2f}")
+        )
+    emit_report(
+        "fig12_begin_optional",
+        "Figure 12: overhead of beginning the parallel optional parts "
+        "[ms]\n\n" + "\n\n".join(sections),
+    )
+
+    for load in BackgroundLoad:
+        series = figure_series(sweep, "b", load)["one_by_one"]
+        by_np = dict(series)
+        # linear: value at 228 is ~ (228/57) x value at 57
+        assert by_np[228] / by_np[57] > 3.0
+        # policies close to each other
+        at228 = [
+            dict(figure_series(sweep, "b", load)[p])[228]
+            for p in ("one_by_one", "two_by_two", "all_by_all")
+        ]
+        assert max(at228) < 1.2 * min(at228)
+    # the inversion: CPU > CPU-Memory > no load
+    cpu = dict(figure_series(sweep, "b", BackgroundLoad.CPU)["one_by_one"])
+    mem = dict(
+        figure_series(sweep, "b", BackgroundLoad.CPU_MEMORY)["one_by_one"]
+    )
+    none = dict(figure_series(sweep, "b", BackgroundLoad.NONE)["one_by_one"])
+    for np_ in cpu:
+        assert cpu[np_] > mem[np_] > none[np_]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the figure benches.
+
+One overhead sweep (Section V-A: np in {4..228} x 3 policies x 3 loads)
+yields all four overheads, so Figures 10-13 share a session-scoped
+sweep.  Environment knobs:
+
+* ``RTSEED_BENCH_JOBS``  — jobs per configuration (default 10; the paper
+  uses 100 — set 100 for a full-fidelity run, ~10x slower).
+* ``RTSEED_BENCH_COUNTS`` — comma-separated np values (default: the
+  paper's full axis).
+
+Each bench writes its regenerated series to ``benchmarks/out/`` and
+prints it (visible with ``pytest -s`` or in the saved report files).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.overheads import PARALLEL_COUNTS, overhead_sweep
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def _bench_jobs():
+    return int(os.environ.get("RTSEED_BENCH_JOBS", "10"))
+
+
+def _bench_counts():
+    raw = os.environ.get("RTSEED_BENCH_COUNTS")
+    if not raw:
+        return PARALLEL_COUNTS
+    return tuple(int(part) for part in raw.split(","))
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """The Section V sweep, computed once per session."""
+    return overhead_sweep(n_jobs=_bench_jobs(), counts=_bench_counts())
+
+
+@pytest.fixture(scope="session")
+def bench_jobs():
+    return _bench_jobs()
+
+
+def emit_report(name, text):
+    """Persist a regenerated figure/table and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

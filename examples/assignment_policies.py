@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Figure 8: assignment policies for parallel optional parts.
+
+Draws the paper's occupancy maps for 171 parts on the Xeon Phi 3120A
+(one-by-one / two-by-two / all-by-all) and then measures the ending
+overhead Δe of each policy under CPU-Memory load — the experiment
+behind the paper's headline finding that one-by-one placement costs the
+most to terminate but spreads parts most evenly.
+
+Run:  python examples/assignment_policies.py
+"""
+
+from repro.bench.overheads import run_overhead_experiment
+from repro.bench.reporting import format_table
+from repro.core.policies import POLICIES
+from repro.hardware.loads import BackgroundLoad
+from repro.hardware.xeonphi import xeon_phi_topology
+
+
+def occupancy_map(policy, topology, n_parts):
+    """One character per core: how many hardware threads hold a part."""
+    counts = policy.occupancy(topology, n_parts)
+    return "".join(str(counts.get(core, 0))
+                   for core in range(topology.n_cores))
+
+
+def main():
+    topology = xeon_phi_topology()
+    n_parts = 171
+    print(f"Figure 8 — assigning {n_parts} parallel optional parts to "
+          f"{topology.n_cores} cores x {topology.threads_per_core} "
+          f"hardware threads\n")
+    print("(one digit per core C0..C56 = parts on that core)\n")
+    for name in ("one_by_one", "two_by_two", "all_by_all"):
+        print(f"{name:12s} {occupancy_map(POLICIES[name], topology, n_parts)}")
+
+    print("\nΔe (ending overhead) per policy, np = 57, CPU-Memory load, "
+          "10 jobs:\n")
+    rows = []
+    for name in ("one_by_one", "two_by_two", "all_by_all"):
+        sample = run_overhead_experiment(
+            57, policy=name, load=BackgroundLoad.CPU_MEMORY, n_jobs=10
+        )
+        rows.append([
+            name,
+            f"{sample.mean('e') / 1000:.2f}",
+            f"{sample.mean('b') / 1000:.2f}",
+            f"{sample.mean('s'):.1f}",
+            f"{sample.mean('m'):.1f}",
+        ])
+    print(format_table(
+        ["policy", "Δe [ms]", "Δb [ms]", "Δs [us]", "Δm [us]"], rows,
+    ))
+    print(
+        "\nOne-by-one pays the highest ending overhead: every part's"
+        "\ncompletion-lock handoff contends with warm background load on"
+        "\nits three sibling hardware threads.  All-by-all displaces the"
+        "\nload from whole cores and terminates cheapest (Figure 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

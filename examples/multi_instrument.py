@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Multiple real-time trading tasks on one machine (partitioned).
+
+Section V-A: "the author assumes that the system has many-core
+processors, there are fewer tasks than processors ... multiple tasks are
+not necessarily executed on the same processors."  This example runs
+three currency pairs as three parallel-extended imprecise tasks,
+partitioned by the admission controller onto distinct cores of the
+simulated Xeon Phi, each with its own analyzer panel, broker account,
+and risk limits.
+
+Run:  python examples/multi_instrument.py
+"""
+
+from repro.bench.reporting import format_table
+from repro.core import RTSeed
+from repro.core.admission import AdmissionController
+from repro.simkernel.time_units import MSEC
+from repro.trading import (
+    AnytimeBollinger,
+    AnytimeMomentum,
+    AnytimeRSI,
+    AnytimeStochastic,
+    MarketFeed,
+    RiskManager,
+    SimBroker,
+)
+from repro.trading.system import TradingTask
+
+INSTRUMENTS = [
+    ("EUR/USD", 1.1000, 11),
+    ("GBP/USD", 1.2700, 23),
+    ("USD/JPY", 155.00, 37),
+]
+
+#: one core (4 hardware threads) per instrument, in core-id order
+CORE_OF = {"EUR/USD": 0, "GBP/USD": 1, "USD/JPY": 2}
+
+
+def main():
+    middleware = RTSeed(seed=3)
+    controller = AdmissionController(n_cpus=middleware.topology.n_cpus)
+    tasks = {}
+    brokers = {}
+
+    for name, price, seed in INSTRUMENTS:
+        feed = MarketFeed(seed=seed, initial_price=price)
+        broker = SimBroker()
+        task = TradingTask(
+            name.replace("/", ""),
+            feed,
+            [AnytimeBollinger(), AnytimeRSI(), AnytimeMomentum(),
+             AnytimeStochastic()],
+            broker,
+            risk_manager=RiskManager(max_position=3_000.0,
+                                     max_drawdown=0.05),
+        )
+        base_cpu = middleware.topology.cpu_of(CORE_OF[name], 0)
+        decision = controller.admit(task.to_model(), cpu=base_cpu)
+        if not decision:
+            print(f"{name}: REJECTED by admission control "
+                  f"({decision.reason})")
+            continue
+        optional_cpus = [
+            middleware.topology.cpu_of(CORE_OF[name], hw)
+            for hw in range(4)
+        ]
+        middleware.add_task(
+            task,
+            n_jobs=45,
+            cpu=base_cpu,
+            optional_cpus=optional_cpus,
+            optional_deadline=decision.optional_deadlines[task.name],
+        )
+        tasks[name] = task
+        brokers[name] = (feed, broker)
+
+    result = middleware.run()
+
+    rows = []
+    for name, task in tasks.items():
+        feed, broker = brokers[name]
+        task_result = result.tasks[task.name]
+        last = feed.tick(feed.index_at(45 * 1e9))
+        summary = broker.summary(last)
+        rows.append([
+            name,
+            len(task_result.probes),
+            len(task_result.deadline_misses),
+            f"{task_result.total_optional_time / 1e9:.1f}",
+            summary["trades"],
+            len(task.risk_vetoes),
+            f"{summary['equity']:.2f}",
+        ])
+    print("Three instruments, three real-time tasks, one Xeon Phi\n")
+    print(format_table(
+        ["instrument", "jobs", "misses", "QoS [s]", "trades",
+         "risk vetoes", "equity"],
+        rows,
+    ))
+    print(
+        "\nEach task owns one core (mandatory thread on hardware thread"
+        "\n0, optional parts on the siblings); tasks never interfere —"
+        "\nthe admission controller verified each partition before the"
+        "\nmiddleware started."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Semi-fixed-priority scheduling theory tour.
+
+Walks the paper's scheduling foundations:
+
+1. Figure 3 — remaining execution time under general vs semi-fixed-
+   priority scheduling.
+2. Figure 2 — optional-deadline semantics (terminate vs discard).
+3. Theorems 1-2 — the parallel-extended model's mandatory/wind-up
+   schedule is identical to the extended model's; only QoS differs.
+4. A schedulability study: acceptance ratio vs utilization for RM
+   (sufficient and exact) and RMWP over random task sets.
+
+Run:  python examples/schedulability.py
+"""
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.traces import (
+    fig2_optional_deadline_traces,
+    fig3_remaining_time_traces,
+)
+from repro.model import TaskSet, TaskSetGenerator
+from repro.sched import RMWP, RateMonotonic, ScheduleSimulator
+from repro.sched.simulator import SimulationResult
+
+
+def show_fig3():
+    print("=== Figure 3: remaining execution time R_i(t) ===")
+    traces = fig3_remaining_time_traces()
+    for name, points in traces.items():
+        compact = " -> ".join(
+            f"({t:.0f}, {r:.0f})"
+            for t, r in points[:: max(1, len(points) // 6)]
+        )
+        print(f"{name:10s}: {compact}")
+    print()
+
+
+def show_fig2():
+    print("=== Figure 2: optional deadline semantics ===")
+    summary = fig2_optional_deadline_traces()
+    rows = []
+    for name, info in summary.items():
+        rows.append([
+            name,
+            f"{info['mandatory_completed']:.0f}",
+            f"{info['optional_deadline']:.0f}",
+            info["optional_fate"],
+            f"{info['optional_executed']:.0f}",
+            f"{info['windup_started']:.0f}",
+        ])
+    print(format_table(
+        ["task", "m done", "OD", "optional fate", "opt exec", "w start"],
+        rows,
+    ))
+    print()
+
+
+def show_theorems():
+    print("=== Theorems 1-2: parallel optional parts are free ===")
+    # The paper's evaluation task (m = w = 250, o = T = 1000) with its
+    # optional part replicated np times: every part always overruns, so
+    # QoS scales with np while the real-time schedule stays untouched.
+    from repro.model import ParallelExtendedImpreciseTask
+
+    def run(n_parallel):
+        task = ParallelExtendedImpreciseTask(
+            "tau1", 250.0, [1000.0] * n_parallel, 250.0, 1000.0
+        )
+        taskset = TaskSet([task], n_processors=max(n_parallel, 1))
+        return ScheduleSimulator(
+            taskset,
+            policy="rmwp",
+            optional_assignment={"tau1": list(range(n_parallel))},
+        ).run(until=4000.0)
+
+    serial = run(1)
+    parallel = run(4)
+    identical = SimulationResult.schedules_equal(
+        serial.mandatory_windup_schedule(),
+        parallel.mandatory_windup_schedule(),
+    )
+    print(f"mandatory/wind-up schedules identical : {identical}")
+    print(f"QoS, extended model (np = 1)          : "
+          f"{serial.total_optional_time:.0f}")
+    print(f"QoS, parallel-extended model (np = 4) : "
+          f"{parallel.total_optional_time:.0f}")
+    print()
+
+
+def acceptance_study():
+    print("=== Acceptance ratio vs utilization (n = 6 tasks) ===")
+    points = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    trials = 60
+    series = {"RM (L&L bound)": [], "RM (exact RTA)": [], "RMWP": []}
+    for utilization in points:
+        counts = {name: 0 for name in series}
+        for trial in range(trials):
+            generator = TaskSetGenerator(seed=trial * 1000 + int(
+                utilization * 100))
+            taskset = generator.extended_task_set(6, utilization)
+            if RateMonotonic(exact=False).is_schedulable(taskset.tasks):
+                counts["RM (L&L bound)"] += 1
+            if RateMonotonic(exact=True).is_schedulable(taskset.tasks):
+                counts["RM (exact RTA)"] += 1
+            if RMWP.is_schedulable(taskset.tasks):
+                counts["RMWP"] += 1
+        for name in series:
+            series[name].append((utilization, counts[name] / trials))
+    print(format_series("acceptance ratio", series, unit="ratio",
+                        value_format="{:.2f}"))
+    print(
+        "\nRMWP tracks exact RM on the m+w workload and additionally"
+        "\nguarantees a valid optional deadline for every wind-up part."
+    )
+
+
+def main():
+    show_fig3()
+    show_fig2()
+    show_theorems()
+    acceptance_study()
+
+
+if __name__ == "__main__":
+    main()

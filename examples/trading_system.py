@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's motivating application: a real-time trading system.
+
+Section II-A end to end: the mandatory part fetches an EUR/USD rate
+(one per second, as the paper's OANDA feed provides), five parallel
+optional parts run technical analysis (Bollinger Bands, RSI, momentum,
+MACD) and fundamental analysis (a synthetic macro panel scored by
+anytime Monte Carlo), and the wind-up part aggregates whatever the
+parts published into a bid / ask / wait decision sent to a simulated
+broker.
+
+The script also shows the QoS lever: shrinking the optional deadline
+terminates the analyzers earlier, confidence drops, and the strategy
+waits more — the imprecise-computation degradation path, with zero
+deadline misses throughout.
+
+Run:  python examples/trading_system.py
+"""
+
+from repro.bench.reporting import format_table
+from repro.simkernel.time_units import MSEC
+from repro.trading import RealTimeTradingSystem, WeightedVote
+
+
+def run_session(optional_deadline, label, seconds=60):
+    system = RealTimeTradingSystem(
+        n_seconds=seconds,
+        seed=7,
+        policy="one_by_one",
+        optional_deadline=optional_deadline,
+        strategy=WeightedVote(entry_threshold=0.2, min_confidence=0.6),
+    )
+    report = system.run()
+    summary = report.summary()
+    return [
+        label,
+        summary["jobs"],
+        summary["deadline_misses"],
+        f"{summary['qos_ms']:.0f}",
+        f"{summary['mean_confidence']:.2f}",
+        summary["bids"],
+        summary["asks"],
+        summary["waits"],
+        summary["trades"],
+        f"{summary['equity']:.2f}",
+    ]
+
+
+def main():
+    print("Real-time trading on RT-Seed — 60 seconds of EUR/USD, "
+          "5 analyzers in parallel optional parts\n")
+    rows = [
+        run_session(900 * MSEC, "OD = 900 ms (relaxed)"),
+        run_session(400 * MSEC, "OD = 400 ms"),
+        run_session(250 * MSEC, "OD = 250 ms (tight)"),
+        run_session(130 * MSEC, "OD = 130 ms (starved)"),
+    ]
+    headers = ["session", "jobs", "misses", "QoS [ms/job]", "conf",
+               "bids", "asks", "waits", "trades", "equity"]
+    print(format_table(headers, rows))
+    print(
+        "\nA tighter optional deadline never causes a deadline miss —"
+        "\nthe analyzers are simply terminated earlier.  QoS (optional"
+        "\nexecution per job) and mean confidence fall, and decisions"
+        "\nrest on fewer, noisier estimates (the starved session trades"
+        "\non whichever quick analyzer happened to finish).  Degrading"
+        "\ndecision quality instead of timing is exactly the imprecise-"
+        "\ncomputation contract."
+    )
+
+
+if __name__ == "__main__":
+    main()

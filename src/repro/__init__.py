@@ -1,0 +1,19 @@
+"""RT-Seed reproduction: real-time middleware for semi-fixed-priority
+scheduling (Chishiro, MIDDLEWARE 2014), rebuilt end to end on a
+deterministic simulated Linux kernel.
+
+Subpackages:
+
+* :mod:`repro.simkernel` — the simulated kernel substrate.
+* :mod:`repro.model` — imprecise-computation task models.
+* :mod:`repro.sched` — scheduling algorithms and analysis.
+* :mod:`repro.hardware` — Xeon Phi machine and overhead models.
+* :mod:`repro.core` — the RT-Seed middleware (the contribution).
+* :mod:`repro.trading` — the real-time trading application substrate.
+* :mod:`repro.bench` — the Section V experiment harness.
+
+See README.md for a quickstart, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every table and figure of Section V.
+
+* :mod:`repro.bench.overheads` — the Figure 10-13 overhead sweep (four
+  overheads x three loads x three policies x np in {4..228}).
+* :mod:`repro.bench.traces` — Figure 2/3 trace generation.
+* :mod:`repro.bench.reporting` — ASCII series/tables matching the
+  paper's presentation.
+"""
+
+from repro.bench.overheads import (
+    PARALLEL_COUNTS,
+    OverheadSample,
+    make_eval_task,
+    overhead_sweep,
+    run_overhead_experiment,
+)
+from repro.bench.reporting import format_series, format_table
+from repro.bench.traces import (
+    fig2_optional_deadline_traces,
+    fig3_remaining_time_traces,
+)
+
+__all__ = [
+    "PARALLEL_COUNTS",
+    "OverheadSample",
+    "make_eval_task",
+    "overhead_sweep",
+    "run_overhead_experiment",
+    "format_series",
+    "format_table",
+    "fig2_optional_deadline_traces",
+    "fig3_remaining_time_traces",
+]

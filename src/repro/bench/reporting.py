@@ -1,0 +1,44 @@
+"""ASCII reporting helpers for benches and examples."""
+
+
+def format_table(headers, rows, title=None):
+    """Render a fixed-width ASCII table."""
+    columns = [
+        [str(h)] + [("" if r[i] is None else str(r[i])) for r in rows]
+        for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+
+    def line(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append(line(["-" * w for w in widths]))
+    for row in rows:
+        out.append(line(["" if c is None else str(c) for c in row]))
+    return "\n".join(out)
+
+
+def format_series(title, series, unit="us", value_format="{:.1f}"):
+    """Render a figure-style series table.
+
+    :param series: dict ``name -> [(x, y), ...]``; all series must share
+        the x axis.
+    """
+    names = sorted(series)
+    if not names:
+        return title
+    xs = [x for x, _y in series[names[0]]]
+    headers = ["np"] + [f"{name} [{unit}]" for name in names]
+    rows = []
+    for index, x in enumerate(xs):
+        row = [x]
+        for name in names:
+            value = series[name][index][1]
+            row.append(None if value is None else value_format.format(value))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,66 @@
+"""Trace generation for Figures 2 and 3."""
+
+from repro.model.task_model import ExtendedImpreciseTask, TaskSet
+from repro.sched.simulator import ScheduleSimulator
+
+
+def fig3_remaining_time_traces(mandatory=250.0, windup=250.0,
+                               period=1000.0):
+    """Figure 3: remaining execution time R(t) of one task with no
+    interference, under general and semi-fixed-priority scheduling.
+
+    :returns: dict with ``general`` and ``semi_fixed`` break-point lists
+        (time, remaining), both relative to release.
+    """
+    general_task = ExtendedImpreciseTask(
+        "tau_i", mandatory, 0.0, windup, period
+    )
+    general = (
+        ScheduleSimulator(TaskSet([general_task]), policy="rm")
+        .run(until=period)
+        .jobs[0]
+        .remaining_time_trace(semi_fixed=False)
+    )
+    semi_task = ExtendedImpreciseTask(
+        "tau_i", mandatory, 2 * period, windup, period
+    )
+    semi = (
+        ScheduleSimulator(TaskSet([semi_task]), policy="rmwp")
+        .run(until=period)
+        .jobs[0]
+        .remaining_time_trace(semi_fixed=True)
+    )
+    return {"general": general, "semi_fixed": semi}
+
+
+def fig2_optional_deadline_traces():
+    """Figure 2: two tasks, one completing its mandatory part before its
+    optional deadline (optional executes, terminated at OD), the other
+    not (optional never executes, wind-up at mandatory completion).
+
+    :returns: dict task name -> job summary dict.
+    """
+    tau1 = ExtendedImpreciseTask("tau1", 4.0, 100.0, 1.0, 10.0)
+    tau2 = ExtendedImpreciseTask("tau2", 12.0, 100.0, 2.0, 20.0)
+    taskset = TaskSet([tau1, tau2], n_processors=2)
+    result = ScheduleSimulator(
+        taskset,
+        policy="rmwp",
+        assignment={"tau1": 0, "tau2": 1},
+        optional_deadlines={"tau1": 9.0, "tau2": 10.0},
+    ).run(until=20.0)
+    summary = {}
+    for name in ("tau1", "tau2"):
+        job = result.jobs_of(name)[0]
+        part = job.optional_parts[0]
+        summary[name] = {
+            "mandatory_completed": job.mandatory_completed,
+            "optional_deadline": job.optional_deadline,
+            "od_passed_before_mandatory": job.od_passed_before_mandatory,
+            "optional_fate": part.fate,
+            "optional_executed": part.executed,
+            "windup_started": job.windup_started,
+            "completed": job.completed,
+            "deadline": job.deadline,
+        }
+    return summary

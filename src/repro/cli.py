@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``overheads``
+    Run one Section V overhead configuration and print Δm/Δb/Δs/Δe.
+
+``sweep``
+    Run the full figure sweep (policies x loads x np) and print the
+    four figure tables.  Slow at paper fidelity; tune ``--jobs``.
+
+``trade``
+    Run the real-time trading system and print the session report.
+
+``figures``
+    Regenerate the cheap figures/tables (Figure 3, Figure 8, Table I).
+
+``admit``
+    Demonstrate admission control on a random workload.
+"""
+
+import argparse
+import sys
+
+
+def _add_overheads_parser(subparsers):
+    parser = subparsers.add_parser(
+        "overheads", help="run one overhead configuration (Section V)"
+    )
+    parser.add_argument("--np", dest="n_parallel", type=int, default=57,
+                        help="number of parallel optional parts")
+    parser.add_argument("--policy", default="one_by_one",
+                        choices=["one_by_one", "two_by_two", "all_by_all"])
+    parser.add_argument("--load", default="none",
+                        choices=["none", "cpu", "cpu_memory"])
+    parser.add_argument("--jobs", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_sweep_parser(subparsers):
+    parser = subparsers.add_parser(
+        "sweep", help="full Figures 10-13 sweep"
+    )
+    parser.add_argument("--jobs", type=int, default=5)
+    parser.add_argument("--counts", default=None,
+                        help="comma-separated np values")
+
+
+def _add_trade_parser(subparsers):
+    parser = subparsers.add_parser(
+        "trade", help="run the real-time trading system"
+    )
+    parser.add_argument("--seconds", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--policy", default="one_by_one",
+                        choices=["one_by_one", "two_by_two", "all_by_all"])
+    parser.add_argument("--load", default="none",
+                        choices=["none", "cpu", "cpu_memory"])
+    parser.add_argument("--od-ms", type=float, default=None,
+                        help="relative optional deadline in ms")
+
+
+def _add_figures_parser(subparsers):
+    subparsers.add_parser(
+        "figures", help="regenerate Figure 3 / Figure 8 / Table I"
+    )
+
+
+def _add_admit_parser(subparsers):
+    parser = subparsers.add_parser(
+        "admit", help="admission-control demonstration"
+    )
+    parser.add_argument("--cpus", type=int, default=2)
+    parser.add_argument("--tasks", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_from_name(name):
+    from repro.hardware.loads import BackgroundLoad
+
+    return {
+        "none": BackgroundLoad.NONE,
+        "cpu": BackgroundLoad.CPU,
+        "cpu_memory": BackgroundLoad.CPU_MEMORY,
+    }[name]
+
+
+def cmd_overheads(args, out):
+    from repro.bench.overheads import run_overhead_experiment
+    from repro.bench.reporting import format_table
+
+    sample = run_overhead_experiment(
+        args.n_parallel,
+        policy=args.policy,
+        load=_load_from_name(args.load),
+        n_jobs=args.jobs,
+        seed=args.seed,
+    )
+    rows = [
+        [f"Δ{which}", f"{sample.mean(which):.1f}",
+         f"{sample.std(which):.1f}", f"{sample.max(which):.1f}"]
+        for which in "mbse"
+    ]
+    print(
+        format_table(
+            ["overhead", "mean [us]", "std", "max [us]"],
+            rows,
+            title=(
+                f"np={args.n_parallel} policy={args.policy} "
+                f"load={args.load} jobs={args.jobs}"
+            ),
+        ),
+        file=out,
+    )
+    print(f"part fates: {sample.fates}", file=out)
+    return 0
+
+
+def cmd_sweep(args, out):
+    from repro.bench.overheads import (
+        PARALLEL_COUNTS,
+        figure_series,
+        overhead_sweep,
+    )
+    from repro.bench.reporting import format_series
+    from repro.hardware.loads import BackgroundLoad
+
+    counts = PARALLEL_COUNTS
+    if args.counts:
+        counts = tuple(int(c) for c in args.counts.split(","))
+    samples = overhead_sweep(counts=counts, n_jobs=args.jobs)
+    titles = {
+        "m": "Figure 10: beginning the mandatory part [us]",
+        "s": "Figure 11: switching mandatory -> optional [us]",
+        "b": "Figure 12: beginning the optional parts [us]",
+        "e": "Figure 13: ending the optional parts [us]",
+    }
+    for which in "msbe":
+        print(f"\n=== {titles[which]} ===", file=out)
+        for load in BackgroundLoad:
+            series = figure_series(samples, which, load)
+            print(format_series(f"({load.label})", series, unit="us"),
+                  file=out)
+    return 0
+
+
+def cmd_trade(args, out):
+    from repro.bench.reporting import format_table
+    from repro.simkernel.time_units import MSEC
+    from repro.trading.system import RealTimeTradingSystem
+
+    system = RealTimeTradingSystem(
+        n_seconds=args.seconds,
+        seed=args.seed,
+        policy=args.policy,
+        load=_load_from_name(args.load),
+        optional_deadline=(
+            None if args.od_ms is None else args.od_ms * MSEC
+        ),
+    )
+    report = system.run()
+    summary = report.summary()
+    rows = [[key, value if not isinstance(value, float) else f"{value:.2f}"]
+            for key, value in summary.items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"trading session ({args.seconds}s)"),
+          file=out)
+    return 0
+
+
+def cmd_figures(args, out):
+    from repro.bench.reporting import format_table
+    from repro.bench.traces import fig3_remaining_time_traces
+    from repro.core.policies import POLICIES
+    from repro.core.termination import termination_table
+    from repro.hardware.xeonphi import xeon_phi_topology
+
+    traces = fig3_remaining_time_traces()
+    print("=== Figure 3: remaining execution time ===", file=out)
+    for name, points in traces.items():
+        rendered = " -> ".join(f"({t:.0f},{r:.0f})" for t, r in points)
+        print(f"{name:10s}: {rendered}", file=out)
+
+    print("\n=== Figure 8: 171 parts per core (C0..C56) ===", file=out)
+    topology = xeon_phi_topology()
+    for name, policy in POLICIES.items():
+        counts = policy.occupancy(topology, 171)
+        row = "".join(str(counts.get(core, 0)) for core in range(57))
+        print(f"{name:12s} {row}", file=out)
+
+    print("\n=== Table I: termination strategies ===", file=out)
+    rows = [
+        [name, "X" if any_time else "", "X" if mask else ""]
+        for name, any_time, mask in termination_table()
+    ]
+    print(format_table(
+        ["implementation", "any-time termination",
+         "signal-mask restoration"],
+        rows,
+    ), file=out)
+    return 0
+
+
+def cmd_admit(args, out):
+    from repro.bench.reporting import format_table
+    from repro.core.admission import AdmissionController
+    from repro.model import TaskSetGenerator
+
+    controller = AdmissionController(n_cpus=args.cpus)
+    generator = TaskSetGenerator(seed=args.seed)
+    taskset = generator.extended_task_set(args.tasks,
+                                          0.55 * args.cpus)
+    rows = []
+    for model in taskset:
+        cpu, decision = controller.admit_anywhere(model,
+                                                  heuristic="worst_fit")
+        rows.append([
+            model.name,
+            f"{model.utilization:.3f}",
+            "-" if cpu is None else cpu,
+            decision.reason if not decision else "admitted",
+        ])
+    utilization_rows = [
+        [cpu, f"{controller.utilization(cpu):.3f}",
+         len(controller.admitted(cpu))]
+        for cpu in range(args.cpus)
+    ]
+    print(format_table(["task", "U", "cpu", "outcome"], rows,
+                       title="admission decisions (worst-fit)"),
+          file=out)
+    print(format_table(["cpu", "U", "tasks"], utilization_rows,
+                       title="\nfinal per-CPU state"), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "overheads": cmd_overheads,
+    "sweep": cmd_sweep,
+    "trade": cmd_trade,
+    "figures": cmd_figures,
+    "admit": cmd_admit,
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RT-Seed reproduction: middleware for semi-fixed-"
+                    "priority scheduling (MIDDLEWARE 2014)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_overheads_parser(subparsers)
+    _add_sweep_parser(subparsers)
+    _add_trade_parser(subparsers)
+    _add_figures_parser(subparsers)
+    _add_admit_parser(subparsers)
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""RT-Seed: the real-time middleware (the paper's contribution).
+
+Public API:
+
+* :class:`~repro.core.task.Task` / :class:`~repro.core.task.WorkloadTask`
+  — the parallel-extended imprecise task with ``exec_mandatory`` /
+  ``exec_optional`` / ``exec_windup`` (Section IV-C).
+* :class:`~repro.core.middleware.RTSeed` — the middleware runner.
+* :mod:`repro.core.policies` — one-by-one / two-by-two / all-by-all
+  optional-part placement (Figure 8).
+* :mod:`repro.core.termination` — sigsetjmp / periodic-check / try-catch
+  termination strategies (Section IV-D, Table I).
+* :mod:`repro.core.queues` — the HPQ/RTQ/NRTQ/SQ priority-band mapping
+  (Figures 4 and 5).
+"""
+
+from repro.core.middleware import RTSeed, RTSeedResult, TaskResult
+from repro.core.policies import (
+    POLICIES,
+    AllByAll,
+    AssignmentPolicy,
+    OneByOne,
+    TwoByTwo,
+    get_policy,
+)
+from repro.core.practical import (
+    PhaseProbe,
+    PracticalRealTimeProcess,
+    PracticalTask,
+    PracticalWorkloadTask,
+)
+from repro.core.process import JobProbe, RealTimeProcess
+from repro.core.queues import (
+    HPQ_PRIORITY,
+    NRTQ_RANGE,
+    PRIORITY_GAP,
+    RTQ_RANGE,
+    PriorityBandError,
+    ReadyQueueView,
+    classify_priority,
+    nrtq_priority,
+    rtq_priority,
+)
+from repro.core.task import Task, TaskContext, WorkloadTask
+from repro.core.termination import (
+    STRATEGIES,
+    OptionalOutcome,
+    PeriodicCheckTermination,
+    SigjmpTermination,
+    TerminationStrategy,
+    TryCatchTermination,
+    termination_table,
+)
+
+__all__ = [
+    "RTSeed",
+    "RTSeedResult",
+    "TaskResult",
+    "POLICIES",
+    "AllByAll",
+    "AssignmentPolicy",
+    "OneByOne",
+    "TwoByTwo",
+    "get_policy",
+    "JobProbe",
+    "RealTimeProcess",
+    "PhaseProbe",
+    "PracticalRealTimeProcess",
+    "PracticalTask",
+    "PracticalWorkloadTask",
+    "HPQ_PRIORITY",
+    "NRTQ_RANGE",
+    "PRIORITY_GAP",
+    "RTQ_RANGE",
+    "PriorityBandError",
+    "ReadyQueueView",
+    "classify_priority",
+    "nrtq_priority",
+    "rtq_priority",
+    "Task",
+    "TaskContext",
+    "WorkloadTask",
+    "STRATEGIES",
+    "OptionalOutcome",
+    "PeriodicCheckTermination",
+    "SigjmpTermination",
+    "TerminationStrategy",
+    "TryCatchTermination",
+    "termination_table",
+]

@@ -1,0 +1,135 @@
+"""Admission control: accept tasks only while guarantees hold.
+
+RT-Seed's second stated goal is to become "the de facto standard for
+real-time middleware supporting imprecise computation"; a production
+middleware needs online admission control.  :class:`AdmissionController`
+wraps the offline analysis (per-CPU RMWP feasibility, valid optional
+deadlines, priority-band capacity) so callers can test-and-add tasks
+incrementally and get a precise reason on rejection.
+"""
+
+from repro.core.queues import RTQ_RANGE
+from repro.model.optional_deadline import (
+    OptionalDeadlineError,
+    optional_deadlines_rmwp,
+)
+from repro.sched.analysis import rta_schedulable
+
+
+class AdmissionDecision:
+    """Outcome of an admission test."""
+
+    __slots__ = ("accepted", "reason", "optional_deadlines")
+
+    def __init__(self, accepted, reason, optional_deadlines=None):
+        self.accepted = accepted
+        self.reason = reason
+        self.optional_deadlines = optional_deadlines or {}
+
+    def __bool__(self):
+        return self.accepted
+
+    def __repr__(self):
+        verdict = "ACCEPT" if self.accepted else "REJECT"
+        return f"<AdmissionDecision {verdict}: {self.reason}>"
+
+
+class AdmissionController:
+    """Per-CPU admission control for RMWP task sets.
+
+    :param n_cpus: processors available for mandatory/wind-up parts.
+    """
+
+    #: RTQ band capacity: one priority level per task on a CPU.
+    _BAND_CAPACITY = RTQ_RANGE[1] - RTQ_RANGE[0] + 1
+
+    def __init__(self, n_cpus):
+        if n_cpus < 1:
+            raise ValueError("need at least one CPU")
+        self.n_cpus = n_cpus
+        self._admitted = {cpu: [] for cpu in range(n_cpus)}
+
+    def admitted(self, cpu=None):
+        """Models admitted on ``cpu`` (or all, flattened)."""
+        if cpu is not None:
+            return list(self._admitted[cpu])
+        return [m for models in self._admitted.values() for m in models]
+
+    def utilization(self, cpu):
+        return sum(m.utilization for m in self._admitted[cpu])
+
+    def test(self, model, cpu):
+        """Would admitting ``model`` on ``cpu`` preserve all guarantees?
+
+        Checks, in order: duplicate name, priority-band capacity, RM
+        feasibility of the ``m+w`` workload, and valid optional
+        deadlines for *every* task on the CPU (an arrival can shrink an
+        existing task's OD into infeasibility).
+        """
+        if not 0 <= cpu < self.n_cpus:
+            raise ValueError(f"CPU {cpu} out of range")
+        names = {m.name for m in self.admitted()}
+        if model.name in names:
+            return AdmissionDecision(
+                False, f"duplicate task name {model.name!r}"
+            )
+        candidate = self._admitted[cpu] + [model]
+        if len(candidate) > self._BAND_CAPACITY:
+            return AdmissionDecision(
+                False,
+                f"RTQ band exhausted on CPU {cpu} "
+                f"({self._BAND_CAPACITY} levels)",
+            )
+        if not rta_schedulable(candidate):
+            return AdmissionDecision(
+                False,
+                f"m+w workload unschedulable on CPU {cpu} "
+                f"(U would be {sum(m.utilization for m in candidate):.3f})",
+            )
+        try:
+            deadlines = optional_deadlines_rmwp(candidate)
+        except OptionalDeadlineError as error:
+            return AdmissionDecision(
+                False, f"optional deadline infeasible: {error}"
+            )
+        return AdmissionDecision(True, "feasible", deadlines)
+
+    def admit(self, model, cpu):
+        """Test and, on success, record the task.
+
+        :returns: the :class:`AdmissionDecision` (truthy iff admitted).
+        """
+        decision = self.test(model, cpu)
+        if decision:
+            self._admitted[cpu].append(model)
+        return decision
+
+    def admit_anywhere(self, model, heuristic="first_fit"):
+        """Admit on the first/best CPU that accepts the task.
+
+        :param heuristic: ``first_fit`` or ``worst_fit`` (lowest
+            utilization first).
+        :returns: (cpu, decision); ``cpu`` is None when rejected
+            everywhere (the decision then carries the last reason).
+        """
+        if heuristic == "first_fit":
+            order = range(self.n_cpus)
+        elif heuristic == "worst_fit":
+            order = sorted(range(self.n_cpus), key=self.utilization)
+        else:
+            raise ValueError(f"unknown heuristic {heuristic!r}")
+        decision = AdmissionDecision(False, "no CPUs")
+        for cpu in order:
+            decision = self.admit(model, cpu)
+            if decision:
+                return cpu, decision
+        return None, decision
+
+    def release(self, name):
+        """Remove an admitted task (it finished its jobs)."""
+        for models in self._admitted.values():
+            for model in models:
+                if model.name == name:
+                    models.remove(model)
+                    return True
+        return False

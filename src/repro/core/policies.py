@@ -1,0 +1,106 @@
+"""Assignment policies for parallel optional parts (Section V-A, Figure 8).
+
+Three policies place ``np`` parallel optional parts onto hardware
+threads.  All three walk cores in id order and differ in how many
+hardware threads per core they fill before moving on:
+
+* **One by One** — one hardware thread per core per sweep; additional
+  sweeps fill the next hardware thread of each core.
+* **Two by Two** — two hardware threads per core per sweep.
+* **All by All** — all hardware threads of a core (four on the Xeon Phi)
+  before touching the next core.
+
+The first part always lands on CPU 0 — "the first parallel optional
+thread is executed on the processor that executes the mandatory thread"
+(Section IV-C) — which every policy satisfies naturally because core 0 /
+hardware-thread 0 is the first slot filled.
+"""
+
+
+class AssignmentPolicy:
+    """Base class: subclasses define ``threads_per_sweep``."""
+
+    name = "abstract"
+    threads_per_sweep = None
+
+    def assign(self, topology, n_parts):
+        """CPU ids for parts ``0 .. n_parts-1``.
+
+        :raises ValueError: if ``n_parts`` exceeds the machine size.
+        """
+        if n_parts < 1:
+            raise ValueError("need at least one optional part")
+        if n_parts > topology.n_cpus:
+            raise ValueError(
+                f"{n_parts} parts exceed {topology.n_cpus} hardware threads"
+            )
+        width = min(self.threads_per_sweep, topology.threads_per_core)
+        cpus = []
+        sweep_base = 0
+        while len(cpus) < n_parts:
+            for core in range(topology.n_cores):
+                for offset in range(width):
+                    hw_index = sweep_base + offset
+                    if hw_index >= topology.threads_per_core:
+                        continue
+                    cpus.append(topology.cpu_of(core, hw_index))
+                    if len(cpus) == n_parts:
+                        return cpus
+            sweep_base += width
+            if sweep_base >= topology.threads_per_core:
+                break
+        return cpus
+
+    def occupancy(self, topology, n_parts):
+        """Parts per core, e.g. Figure 8's shading: core id -> count."""
+        counts = {}
+        for cpu in self.assign(topology, n_parts):
+            core_id = topology.core_of(cpu).core_id
+            counts[core_id] = counts.get(core_id, 0) + 1
+        return counts
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+class OneByOne(AssignmentPolicy):
+    """Figure 8(a): spread one hardware thread per core per sweep."""
+
+    name = "one_by_one"
+    threads_per_sweep = 1
+
+
+class TwoByTwo(AssignmentPolicy):
+    """Figure 8(b): two hardware threads per core per sweep."""
+
+    name = "two_by_two"
+    threads_per_sweep = 2
+
+
+class AllByAll(AssignmentPolicy):
+    """Figure 8(c): fill each core completely before the next.
+
+    ``threads_per_sweep`` is clamped to the machine's SMT width, so one
+    sweep covers every hardware thread of a core (four by four on the
+    Xeon Phi 3120A).
+    """
+
+    name = "all_by_all"
+    threads_per_sweep = 1_000_000  # clamped to threads_per_core
+
+
+#: Name -> policy instance registry (the bench harness iterates this).
+POLICIES = {
+    policy.name: policy
+    for policy in (OneByOne(), TwoByTwo(), AllByAll())
+}
+
+
+def get_policy(name):
+    """Look up a policy by name with a helpful error."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,117 @@
+"""Priority-band mapping: HPQ / RTQ / NRTQ / SQ (Figures 4 and 5).
+
+RT-Seed does not implement its own ready queues — that is the point of
+the middleware approach.  It *maps* the four conceptual queues onto
+Linux's per-CPU SCHED_FIFO levels:
+
+* **HPQ** — priority 99, reserved for the highest-priority task (e.g. a
+  task RM-US classifies as heavy; footnote 1).
+* **RTQ** — priorities [50, 98]: mandatory and wind-up parts, RM order.
+* **NRTQ** — priorities [1, 49]: parallel optional parts.  The gap
+  between a task's mandatory priority and its optional priority is
+  exactly 49 (priority 90 mandatory -> priority 41 optional), so RM
+  order is preserved inside NRTQ and *every* RTQ task outranks *every*
+  NRTQ task.
+* **SQ** — not a priority level: sleeping threads (blocked in
+  ``clock_nanosleep`` / ``pthread_cond_wait``) simply are not runnable.
+
+This module owns the arithmetic and the validation; it is deliberately
+free of kernel state.
+"""
+
+from repro.simkernel.thread import ThreadState
+
+#: Priority reserved for the highest-priority task (footnote 1).
+HPQ_PRIORITY = 99
+
+#: Mandatory/wind-up (real-time) band, inclusive.
+RTQ_RANGE = (50, 98)
+
+#: Parallel-optional (non-real-time) band, inclusive.
+NRTQ_RANGE = (1, 49)
+
+#: The fixed distance between a task's mandatory and optional priorities.
+PRIORITY_GAP = 49
+
+
+class PriorityBandError(ValueError):
+    """A priority fell outside its designated band."""
+
+
+def rtq_priority(rank):
+    """Priority for the task of RM rank ``rank`` (0 = highest).
+
+    Rank 0 gets 98, rank 1 gets 97, ... down to 50.
+    """
+    priority = RTQ_RANGE[1] - rank
+    if priority < RTQ_RANGE[0]:
+        raise PriorityBandError(
+            f"RM rank {rank} does not fit in the RTQ band {RTQ_RANGE} "
+            f"({RTQ_RANGE[1] - RTQ_RANGE[0] + 1} levels)"
+        )
+    return priority
+
+
+def nrtq_priority(mandatory_priority):
+    """Optional-part priority for a given mandatory priority.
+
+    Section IV-B: "the difference between the priorities of the mandatory
+    and parallel optional threads is 49" — priority 90 maps to 41.
+    """
+    if not RTQ_RANGE[0] <= mandatory_priority <= RTQ_RANGE[1]:
+        raise PriorityBandError(
+            f"mandatory priority {mandatory_priority} outside RTQ band "
+            f"{RTQ_RANGE}"
+        )
+    optional = mandatory_priority - PRIORITY_GAP
+    assert NRTQ_RANGE[0] <= optional <= NRTQ_RANGE[1]
+    return optional
+
+
+def classify_priority(priority):
+    """Which conceptual queue a priority level belongs to."""
+    if priority == HPQ_PRIORITY:
+        return "HPQ"
+    if RTQ_RANGE[0] <= priority <= RTQ_RANGE[1]:
+        return "RTQ"
+    if NRTQ_RANGE[0] <= priority <= NRTQ_RANGE[1]:
+        return "NRTQ"
+    raise PriorityBandError(f"priority {priority} is in no RT-Seed band")
+
+
+class ReadyQueueView:
+    """Introspection over a kernel's threads in RT-Seed band terms.
+
+    Used by tests and diagnostics to assert Figure 5 invariants ("every
+    task in RTQ has higher priority than every task in NRTQ", "SQ holds
+    tasks sleeping until their optional deadlines or next releases").
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    def _threads(self, states):
+        return [t for t in self.kernel.threads
+                if t.state in states and t.alive]
+
+    def hpq(self):
+        return [
+            t for t in self._threads({ThreadState.READY, ThreadState.RUNNING})
+            if t.priority == HPQ_PRIORITY
+        ]
+
+    def rtq(self):
+        return [
+            t for t in self._threads({ThreadState.READY, ThreadState.RUNNING})
+            if RTQ_RANGE[0] <= t.priority <= RTQ_RANGE[1]
+        ]
+
+    def nrtq(self):
+        return [
+            t for t in self._threads({ThreadState.READY, ThreadState.RUNNING})
+            if NRTQ_RANGE[0] <= t.priority <= NRTQ_RANGE[1]
+        ]
+
+    def sq(self):
+        """Sleeping/blocked threads (the SQ of Figure 4)."""
+        return self._threads({ThreadState.BLOCKED})

@@ -1,0 +1,48 @@
+"""Background loads (Section V-B).
+
+The paper measures overheads under three conditions:
+
+* **No load** — nothing else runs.
+* **CPU load** — infinite-loop tasks on all 228 hardware threads; they
+  hammer the branch units (an infinite loop is nothing but branches),
+  which is why ``pthread_cond_signal`` — itself branchy — suffers *more*
+  under CPU load than under CPU-Memory load (Figure 12's inversion).
+* **CPU-Memory load** — 512 KB (the L2 size) read/write loops on all
+  hardware threads, polluting L1/L2 so that real-time code misses the
+  cache; wake-ups and cross-core cache-line transfers get slower
+  (Figures 10 and 13).
+
+Loads are declarative: they set the topology's ``background_busy`` flags
+(consuming SMT share only if the topology weights background occupancy)
+and select a micro-cost column in the cost model.
+"""
+
+import enum
+
+
+class BackgroundLoad(enum.Enum):
+    NONE = "no_load"
+    CPU = "cpu_load"
+    CPU_MEMORY = "cpu_memory_load"
+
+    @property
+    def label(self):
+        return {
+            BackgroundLoad.NONE: "No load",
+            BackgroundLoad.CPU: "CPU load",
+            BackgroundLoad.CPU_MEMORY: "CPU-Memory load",
+        }[self]
+
+
+def apply_load(topology, load):
+    """Flag the topology's hardware threads according to ``load``.
+
+    The paper runs the load programs on *all* hardware threads (they are
+    regular SCHED_OTHER tasks, preempted wherever a real-time thread
+    runs).
+    """
+    if load is BackgroundLoad.NONE:
+        topology.set_background_load(busy=False)
+    else:
+        topology.set_background_load(busy=True)
+    return topology

@@ -1,0 +1,155 @@
+"""Seeded random task-set generation for schedulability experiments.
+
+Uses the standard UUniFast algorithm for unbiased utilization vectors and
+log-uniform periods, then splits each task's WCET into mandatory and
+wind-up fractions to build extended / parallel-extended imprecise tasks.
+All randomness flows through a seeded :class:`numpy.random.Generator`, so
+every experiment is reproducible from its seed.
+"""
+
+import numpy as np
+
+from repro.model.task_model import (
+    ExtendedImpreciseTask,
+    ParallelExtendedImpreciseTask,
+    PeriodicTask,
+    TaskSet,
+)
+
+
+def uunifast(n_tasks, total_utilization, rng):
+    """UUniFast (Bini & Buttazzo): n utilizations summing to the target.
+
+    :returns: list of ``n_tasks`` utilizations, each in (0, total].
+    """
+    if n_tasks < 1:
+        raise ValueError("need at least one task")
+    if total_utilization <= 0:
+        raise ValueError("total utilization must be positive")
+    utilizations = []
+    remaining = total_utilization
+    for i in range(1, n_tasks):
+        next_remaining = remaining * rng.random() ** (1.0 / (n_tasks - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+class TaskSetGenerator:
+    """Factory for random task sets.
+
+    :param seed: seed for the internal numpy generator.
+    :param period_range: (min, max) periods, drawn log-uniformly.
+    :param mandatory_fraction_range: the fraction of each task's WCET that
+        is mandatory (the remainder is wind-up).
+    :param optional_ratio_range: optional execution time as a multiple of
+        the task WCET (QoS demand).
+    """
+
+    def __init__(
+        self,
+        seed=0,
+        period_range=(10_000.0, 1_000_000.0),
+        mandatory_fraction_range=(0.3, 0.7),
+        optional_ratio_range=(0.5, 2.0),
+        harmonic_periods=None,
+    ):
+        """``harmonic_periods``: when given (a list of integral values),
+        periods are drawn from it instead of log-uniformly — keeping
+        hyperperiods small for simulation-vs-analysis cross-checks."""
+        if period_range[0] <= 0 or period_range[0] > period_range[1]:
+            raise ValueError(f"bad period range: {period_range}")
+        low, high = mandatory_fraction_range
+        if not 0 < low <= high < 1:
+            raise ValueError(
+                f"mandatory fraction range must be inside (0, 1): "
+                f"{mandatory_fraction_range}"
+            )
+        self.rng = np.random.default_rng(seed)
+        self.period_range = period_range
+        self.mandatory_fraction_range = mandatory_fraction_range
+        self.optional_ratio_range = optional_ratio_range
+        self.harmonic_periods = (
+            None if harmonic_periods is None else
+            [float(p) for p in harmonic_periods]
+        )
+
+    def _draw_period(self):
+        if self.harmonic_periods is not None:
+            return float(self.rng.choice(self.harmonic_periods))
+        low, high = self.period_range
+        return float(np.exp(self.rng.uniform(np.log(low), np.log(high))))
+
+    def _draw_utilizations(self, n_tasks, total_utilization,
+                           max_attempts=1000):
+        """UUniFast, redrawing until no single task exceeds utilization 1
+        (the standard discard rule for multiprocessor generation — a task
+        with ``U_i > 1`` is infeasible on unit-speed processors)."""
+        if total_utilization > n_tasks:
+            raise ValueError(
+                f"total utilization {total_utilization} infeasible for "
+                f"{n_tasks} tasks"
+            )
+        for _ in range(max_attempts):
+            utilizations = uunifast(n_tasks, total_utilization, self.rng)
+            if all(u <= 1.0 for u in utilizations):
+                return utilizations
+        raise RuntimeError(
+            f"could not draw a feasible utilization vector for "
+            f"n={n_tasks}, U={total_utilization}"
+        )
+
+    def periodic_task_set(self, n_tasks, total_utilization, n_processors=1):
+        """Liu & Layland tasks with UUniFast utilizations."""
+        utilizations = self._draw_utilizations(n_tasks, total_utilization)
+        tasks = []
+        for index, utilization in enumerate(utilizations):
+            period = self._draw_period()
+            wcet = max(utilization * period, 1e-9)
+            tasks.append(PeriodicTask(f"tau{index + 1}", wcet, period))
+        return TaskSet(tasks, n_processors=n_processors)
+
+    def extended_task_set(self, n_tasks, total_utilization, n_processors=1):
+        """Extended imprecise tasks (mandatory + optional + wind-up)."""
+        utilizations = self._draw_utilizations(n_tasks, total_utilization)
+        tasks = []
+        for index, utilization in enumerate(utilizations):
+            period = self._draw_period()
+            wcet = max(utilization * period, 1e-9)
+            fraction = self.rng.uniform(*self.mandatory_fraction_range)
+            mandatory = max(wcet * fraction, 1e-12)
+            windup = max(wcet - mandatory, 1e-12)
+            optional = wcet * self.rng.uniform(*self.optional_ratio_range)
+            tasks.append(
+                ExtendedImpreciseTask(
+                    f"tau{index + 1}", mandatory, optional, windup, period
+                )
+            )
+        return TaskSet(tasks, n_processors=n_processors)
+
+    def parallel_task_set(
+        self,
+        n_tasks,
+        total_utilization,
+        n_processors=1,
+        parallel_range=(1, 8),
+    ):
+        """Parallel-extended imprecise tasks with random ``np_i``."""
+        base = self.extended_task_set(n_tasks, total_utilization,
+                                      n_processors)
+        tasks = []
+        for task in base:
+            n_parallel = int(self.rng.integers(parallel_range[0],
+                                               parallel_range[1] + 1))
+            per_part = task.optional / n_parallel if n_parallel else 0.0
+            tasks.append(
+                ParallelExtendedImpreciseTask(
+                    task.name,
+                    task.mandatory,
+                    [per_part] * n_parallel,
+                    task.windup,
+                    task.period,
+                )
+            )
+        return TaskSet(tasks, n_processors=n_processors)

@@ -1,0 +1,157 @@
+"""Job records: one instance of a task, with part-level timeline.
+
+The schedulers in :mod:`repro.sched` and the middleware harness both
+produce :class:`Job` records, so analysis code (deadline-miss detection,
+QoS accounting, Figure 2/3 traces) has a single vocabulary.
+"""
+
+import enum
+
+
+class PartType(enum.Enum):
+    """Which part of an imprecise task a segment of execution belongs to."""
+
+    MANDATORY = "mandatory"
+    OPTIONAL = "optional"
+    WINDUP = "windup"
+    WHOLE = "whole"  # Liu & Layland tasks have a single undivided part
+
+
+class JobOutcome(enum.Enum):
+    COMPLETED = "completed"
+    DEADLINE_MISS = "deadline_miss"
+    RUNNING = "running"
+
+
+class OptionalPartRecord:
+    """Fate of one parallel optional part within a job.
+
+    Exactly one of the paper's three outcomes applies: *completed* (ran to
+    the end before the optional deadline), *terminated* (cut off at the
+    optional deadline), or *discarded* (never started — no time between
+    mandatory completion and the optional deadline).
+    """
+
+    __slots__ = ("index", "cpu", "started_at", "ended_at", "executed",
+                 "fate")
+
+    def __init__(self, index, cpu=None):
+        self.index = index
+        self.cpu = cpu
+        self.started_at = None
+        self.ended_at = None
+        self.executed = 0.0
+        self.fate = None  # "completed" | "terminated" | "discarded"
+
+    def __repr__(self):
+        return (
+            f"<OptionalPart #{self.index} cpu={self.cpu} "
+            f"fate={self.fate} executed={self.executed:.0f}>"
+        )
+
+
+class Job:
+    """One released instance of a task.
+
+    :param task: the task model object.
+    :param index: job number (0-based).
+    :param release: absolute release time.
+    :param deadline: absolute deadline.
+    :param optional_deadline: absolute optional deadline (imprecise tasks).
+    """
+
+    def __init__(self, task, index, release, deadline,
+                 optional_deadline=None):
+        self.task = task
+        self.index = index
+        self.release = release
+        self.deadline = deadline
+        self.optional_deadline = optional_deadline
+
+        self.mandatory_started = None
+        self.mandatory_completed = None
+        self.windup_released = None
+        self.windup_started = None
+        self.windup_completed = None
+        self.completed = None
+        #: the optional deadline passed before the mandatory part finished
+        #: (Figure 2, tau2) — the optional part is then never executed.
+        self.od_passed_before_mandatory = False
+        self.optional_parts = []
+        #: (start, end, part_type, cpu) execution segments, for traces.
+        self.segments = []
+
+    @property
+    def outcome(self):
+        if self.completed is None:
+            return JobOutcome.RUNNING
+        if self.completed > self.deadline:
+            return JobOutcome.DEADLINE_MISS
+        return JobOutcome.COMPLETED
+
+    @property
+    def response_time(self):
+        """Completion minus release, or ``None`` while running."""
+        if self.completed is None:
+            return None
+        return self.completed - self.release
+
+    @property
+    def optional_time_executed(self):
+        """Total optional execution across parallel parts (the QoS metric:
+        'the longer the optional part executes, the higher its QoS')."""
+        return sum(p.executed for p in self.optional_parts)
+
+    def record_segment(self, start, end, part_type, cpu=None):
+        """Append an execution segment (used for R_i(t) traces)."""
+        if end < start:
+            raise ValueError(f"segment ends before it starts: {start}..{end}")
+        self.segments.append((start, end, part_type, cpu))
+
+    def remaining_time_trace(self, semi_fixed=True):
+        """Piecewise-linear trace of remaining execution time R_i(t).
+
+        Reproduces Figure 3: under *general scheduling* R_i(0) = m + w and
+        decreases to zero; under *semi-fixed-priority scheduling* R_i is
+        ``m`` during the mandatory part, sleeps, then ``w`` from the
+        optional deadline.  Returns a list of ``(time, remaining)`` break
+        points relative to the release time.
+
+        Optional-part segments are excluded — they are not real-time work.
+        """
+        task = self.task
+        points = []
+        if semi_fixed:
+            budgets = {
+                PartType.MANDATORY: getattr(task, "mandatory", task.wcet),
+                PartType.WINDUP: getattr(task, "windup", 0.0),
+            }
+            remaining = budgets[PartType.MANDATORY]
+            points.append((0.0, remaining))
+            current_part = PartType.MANDATORY
+            for start, end, part, _cpu in sorted(self.segments):
+                if part is PartType.OPTIONAL:
+                    continue
+                if part is PartType.WINDUP and current_part is PartType.MANDATORY:
+                    remaining = budgets[PartType.WINDUP]
+                    points.append((start - self.release, remaining))
+                    current_part = PartType.WINDUP
+                points.append((start - self.release, remaining))
+                remaining = max(0.0, remaining - (end - start))
+                points.append((end - self.release, remaining))
+        else:
+            remaining = task.wcet
+            points.append((0.0, remaining))
+            for start, end, part, _cpu in sorted(self.segments):
+                if part is PartType.OPTIONAL:
+                    continue
+                points.append((start - self.release, remaining))
+                remaining = max(0.0, remaining - (end - start))
+                points.append((end - self.release, remaining))
+        return points
+
+    def __repr__(self):
+        return (
+            f"<Job {self.task.name}#{self.index} rel={self.release:.0f} "
+            f"{self.outcome.value}>"
+        )

@@ -1,0 +1,124 @@
+"""Optional-deadline computation for semi-fixed-priority scheduling.
+
+The relative optional deadline ``OD_i`` is the time (after release) at
+which an unfinished optional part is terminated and the wind-up part is
+released (Section II-B).  It is computed *offline*, which is what lets
+semi-fixed-priority scheduling guarantee the wind-up part on
+multiprocessors where online slack computation is impractical.
+
+The paper's evaluation (Section V-A) uses the single-task special case
+``OD_1 = D_1 - w_1`` and cites Theorem 2 of the RMWP paper [5] for the
+general formula.  The general computation implemented here is the
+response-time construction that theorem rests on: the wind-up part of
+``tau_i``, released at ``OD_i``, suffers interference from the mandatory
+and wind-up parts of every higher-priority task, so ``OD_i`` must leave
+room for the wind-up part's worst-case response time:
+
+    ``OD_i = D_i - WR_i``  where  ``WR_i`` is the smallest fixed point of
+    ``WR = w_i + sum_{j in hp(i)} ceil(WR / T_j) * (m_j + w_j)``
+
+For a lone task (the paper's evaluation) ``WR_1 = w_1`` and the formula
+reduces exactly to ``OD_1 = D_1 - w_1``.
+
+By the paper's Theorems 1 and 2, the same optional deadlines apply
+unchanged in the *parallel*-extended model: parallel optional parts never
+interfere with mandatory/wind-up parts, so the analysis carries over.
+"""
+
+from repro.model.task_model import PeriodicTask
+
+
+class OptionalDeadlineError(ValueError):
+    """The task set admits no valid optional deadline (wind-up infeasible)."""
+
+
+def _mandatory_windup(task):
+    """(m, w) of a task; Liu & Layland tasks have no wind-up split."""
+    mandatory = getattr(task, "mandatory", task.wcet)
+    windup = getattr(task, "windup", 0.0)
+    return mandatory, windup
+
+
+def windup_response_time(task, higher_priority, max_iterations=1000):
+    """Worst-case response time of ``task``'s wind-up part.
+
+    Fixed-point iteration of
+    ``WR = w_i + sum_hp ceil(WR / T_j) (m_j + w_j)``.
+
+    :param higher_priority: tasks with higher (RM) priority on the same
+        processor.
+    :raises OptionalDeadlineError: if the iteration exceeds the deadline
+        (the wind-up part cannot be guaranteed).
+    """
+    import math
+
+    _, windup = _mandatory_windup(task)
+    if windup <= 0:
+        return 0.0
+    response = windup
+    for _ in range(max_iterations):
+        interference = 0.0
+        for other in higher_priority:
+            m_j, w_j = _mandatory_windup(other)
+            interference += math.ceil(response / other.period) * (m_j + w_j)
+        updated = windup + interference
+        if updated > task.deadline:
+            raise OptionalDeadlineError(
+                f"{task.name}: wind-up response time {updated} exceeds "
+                f"deadline {task.deadline}"
+            )
+        if updated == response:
+            return response
+        response = updated
+    raise OptionalDeadlineError(
+        f"{task.name}: wind-up response-time iteration did not converge"
+    )
+
+
+def optional_deadline_simple(task):
+    """The paper's single-task formula: ``OD = D - w`` (Section V-A)."""
+    _, windup = _mandatory_windup(task)
+    return task.deadline - windup
+
+
+def optional_deadlines_rmwp(tasks):
+    """Relative optional deadlines for a set of tasks under RMWP.
+
+    Tasks are considered in RM order; each task's wind-up part competes
+    with the mandatory and wind-up parts of all higher-priority tasks.
+
+    :param tasks: iterable of imprecise tasks sharing one processor.
+    :returns: dict mapping task name to relative optional deadline.
+    :raises OptionalDeadlineError: if any wind-up part is unschedulable.
+    """
+    ordered = sorted(tasks, key=lambda t: (t.period, t.name))
+    deadlines = {}
+    for index, task in enumerate(ordered):
+        higher = ordered[:index]
+        response = windup_response_time(task, higher)
+        optional_deadline = task.deadline - response
+        mandatory, _ = _mandatory_windup(task)
+        if optional_deadline < mandatory:
+            raise OptionalDeadlineError(
+                f"{task.name}: optional deadline {optional_deadline} leaves "
+                f"no room for the mandatory part ({mandatory})"
+            )
+        deadlines[task.name] = optional_deadline
+    return deadlines
+
+
+def validate_optional_deadline(task, optional_deadline):
+    """Sanity-check a relative optional deadline against task structure."""
+    if not isinstance(task, PeriodicTask):
+        raise TypeError(f"expected a task model, got {type(task).__name__}")
+    mandatory, windup = _mandatory_windup(task)
+    if optional_deadline < mandatory:
+        raise OptionalDeadlineError(
+            f"{task.name}: OD {optional_deadline} < mandatory WCET {mandatory}"
+        )
+    if optional_deadline + windup > task.deadline:
+        raise OptionalDeadlineError(
+            f"{task.name}: OD {optional_deadline} + wind-up {windup} "
+            f"exceeds deadline {task.deadline}"
+        )
+    return True

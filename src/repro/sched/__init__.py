@@ -1,0 +1,74 @@
+"""Scheduling algorithms and schedulability analysis.
+
+This package is the *theory* substrate of the reproduction: priority
+assignment, schedulability tests, partitioning heuristics, and an
+event-driven reference simulator for schedules (independent of the
+middleware, which runs on :mod:`repro.simkernel`).
+
+Algorithms:
+
+* :class:`~repro.sched.rm.RateMonotonic` — Liu & Layland's fixed-priority
+  baseline ("general scheduling" in Figure 3).
+* :class:`~repro.sched.edf.EarliestDeadlineFirst` — dynamic-priority
+  baseline.
+* :class:`~repro.sched.rmwp.RMWP` — semi-fixed-priority scheduling with
+  wind-up part on a uniprocessor [5].
+* :class:`~repro.sched.prmwp.PRMWP` — partitioned RMWP [7]; what RT-Seed
+  implements.
+* :class:`~repro.sched.grmwp.GRMWP` — global RMWP [6]; implemented as the
+  comparator the paper declines to use in middleware.
+* :class:`~repro.sched.rmus.rm_us_threshold` — RM-US(M/(3M-2)) utilization
+  separation (the HPQ footnote in Section IV-B).
+"""
+
+from repro.sched.analysis import (
+    hyperbolic_bound,
+    liu_layland_bound,
+    response_time_analysis,
+    rta_schedulable,
+)
+from repro.sched.dm import (
+    DeadlineMonotonic,
+    audsley_opa,
+    opa_schedulable,
+)
+from repro.sched.edf import EarliestDeadlineFirst
+from repro.sched.grmwp import GRMWP
+from repro.sched.partition import (
+    PartitioningError,
+    best_fit,
+    first_fit,
+    next_fit,
+    partition_tasks,
+    worst_fit,
+)
+from repro.sched.prmwp import PRMWP
+from repro.sched.rm import RateMonotonic
+from repro.sched.rmus import rm_us_priorities, rm_us_threshold
+from repro.sched.rmwp import RMWP
+from repro.sched.simulator import ScheduleSimulator, SimulationResult
+
+__all__ = [
+    "hyperbolic_bound",
+    "liu_layland_bound",
+    "response_time_analysis",
+    "rta_schedulable",
+    "DeadlineMonotonic",
+    "audsley_opa",
+    "opa_schedulable",
+    "EarliestDeadlineFirst",
+    "GRMWP",
+    "PartitioningError",
+    "best_fit",
+    "first_fit",
+    "next_fit",
+    "partition_tasks",
+    "worst_fit",
+    "PRMWP",
+    "RateMonotonic",
+    "rm_us_priorities",
+    "rm_us_threshold",
+    "RMWP",
+    "ScheduleSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,84 @@
+"""Deadline Monotonic and Audsley's Optimal Priority Assignment.
+
+RM is only optimal for implicit deadlines; RT-Seed's RTQ band is a
+generic fixed-priority band, so the analysis family includes the two
+classic fixed-priority assignments beyond RM:
+
+* **Deadline Monotonic** — shortest relative deadline first; optimal
+  for constrained-deadline synchronous task sets.
+* **Audsley's OPA** — assigns priorities bottom-up, testing each task
+  at the lowest unassigned level; optimal for any analysis that is
+  independent of the relative order of higher-priority tasks (true for
+  response-time analysis).
+"""
+
+import math
+
+
+class DeadlineMonotonic:
+    """DM priority assignment + exact schedulability."""
+
+    name = "DM"
+
+    @staticmethod
+    def priority_order(tasks):
+        """Tasks from highest to lowest DM priority (shortest relative
+        deadline first; name breaks ties)."""
+        return sorted(tasks, key=lambda t: (t.deadline, t.name))
+
+    @staticmethod
+    def is_schedulable(tasks):
+        """Exact RTA in DM order."""
+        from repro.sched.analysis import response_time_analysis
+
+        ordered = DeadlineMonotonic.priority_order(tasks)
+        for index, task in enumerate(ordered):
+            if response_time_analysis(task, ordered[:index]) is None:
+                return False
+        return True
+
+
+def _rta_feasible_at_lowest(task, others, max_iterations=10_000):
+    """Does ``task`` meet its deadline with every other task above it?"""
+    response = task.wcet
+    for _ in range(max_iterations):
+        interference = sum(
+            math.ceil(response / other.period) * other.wcet
+            for other in others
+        )
+        updated = task.wcet + interference
+        if updated > task.deadline:
+            return False
+        if updated == response:
+            return True
+        response = updated
+    return False
+
+
+def audsley_opa(tasks):
+    """Audsley's Optimal Priority Assignment.
+
+    :returns: tasks ordered highest-priority first, or ``None`` when no
+        fixed-priority assignment is feasible (by OPA optimality, none
+        exists at all).
+    """
+    remaining = list(tasks)
+    assignment_low_to_high = []
+    while remaining:
+        placed = None
+        # deterministic: try candidates in name order
+        for candidate in sorted(remaining, key=lambda t: t.name):
+            others = [t for t in remaining if t is not candidate]
+            if _rta_feasible_at_lowest(candidate, others):
+                placed = candidate
+                break
+        if placed is None:
+            return None
+        remaining.remove(placed)
+        assignment_low_to_high.append(placed)
+    return list(reversed(assignment_low_to_high))
+
+
+def opa_schedulable(tasks):
+    """True iff *some* fixed-priority assignment is feasible."""
+    return audsley_opa(tasks) is not None

@@ -1,0 +1,31 @@
+"""Earliest Deadline First — the dynamic-priority baseline.
+
+The paper's Section I argues dynamic-priority scheduling of the extended
+imprecise model is impractical on multi-/many-core processors because the
+optional part's available time must be computed online; EDF is included
+here as the canonical dynamic-priority comparator for the schedulability
+ablations.
+"""
+
+
+class EarliestDeadlineFirst:
+    """EDF schedulability for implicit/constrained deadline task sets."""
+
+    name = "EDF"
+
+    @staticmethod
+    def is_schedulable(tasks):
+        """Uniprocessor EDF: exact for implicit deadlines (``U <= 1``);
+        for constrained deadlines falls back to the density test
+        (sufficient)."""
+        tasks = list(tasks)
+        if all(t.deadline == t.period for t in tasks):
+            return sum(t.utilization for t in tasks) <= 1.0 + 1e-12
+        density = sum(t.wcet / min(t.deadline, t.period) for t in tasks)
+        return density <= 1.0 + 1e-12
+
+    @staticmethod
+    def priority_order(tasks):
+        """EDF has no static order; ties are resolved per job at runtime.
+        Returns tasks sorted by deadline for display purposes only."""
+        return sorted(tasks, key=lambda t: (t.deadline, t.name))

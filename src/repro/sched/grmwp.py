@@ -1,0 +1,72 @@
+"""G-RMWP: Global Rate Monotonic with Wind-up Part [6].
+
+Implemented as the comparator the paper declines to use for middleware
+(Section IV-B): global scheduling migrates tasks between processors,
+which (i) costs cache-affinity overhead and (ii) requires fine-grained
+processor control that an OS does not expose to user space.
+
+The schedulability test follows the RM-US-style utilization separation
+analysis of [6]/[14]: heavy tasks are pinned at the top priority, light
+tasks run global-RM beneath them.
+"""
+
+from repro.sched.rm import RateMonotonic
+from repro.sched.rmus import rm_us_priorities, rm_us_schedulable
+from repro.model.optional_deadline import (
+    OptionalDeadlineError,
+    optional_deadlines_rmwp,
+)
+
+
+class GRMWP:
+    """Global semi-fixed-priority scheduling on ``M`` processors."""
+
+    name = "G-RMWP"
+
+    @staticmethod
+    def priority_order(tasks, n_processors):
+        """Heavy (RM-US) tasks first, then light tasks in RM order."""
+        heavy, light = rm_us_priorities(tasks, n_processors)
+        return sorted(heavy, key=lambda t: (t.period, t.name)) + light
+
+    @staticmethod
+    def is_schedulable(taskset):
+        """Sufficient global test on the ``m+w`` workload plus valid
+        optional deadlines.
+
+        The optional-deadline computation conservatively assumes a task's
+        wind-up part can be delayed by every higher-priority task (a
+        single-queue worst case); [6] shows the tighter per-processor
+        bound, but the conservative test keeps this comparator sound.
+        """
+        tasks = list(taskset.tasks)
+        if not rm_us_schedulable(tasks, taskset.n_processors):
+            return False
+        try:
+            optional_deadlines_rmwp(tasks)
+        except OptionalDeadlineError:
+            return False
+        return True
+
+    @staticmethod
+    def optional_deadlines(taskset):
+        """Relative optional deadlines (conservative single-queue bound)."""
+        return optional_deadlines_rmwp(taskset.tasks)
+
+    @staticmethod
+    def migration_cost_estimate(taskset, per_migration_cost):
+        """Upper bound on migration overhead per hyperperiod.
+
+        Every preemption under global scheduling may migrate the task; we
+        bound preemptions per hyperperiod by the number of higher-priority
+        job releases.  This quantifies point (i) of Section IV-B.
+        """
+        ordered = RateMonotonic.priority_order(taskset.tasks)
+        hyperperiod = taskset.hyperperiod
+        total = 0.0
+        for index, task in enumerate(ordered):
+            releases_above = sum(
+                hyperperiod / other.period for other in ordered[:index]
+            )
+            total += releases_above * per_migration_cost
+        return total

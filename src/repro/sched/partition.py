@@ -1,0 +1,128 @@
+"""Bin-packing heuristics for partitioned scheduling.
+
+P-RMWP assigns tasks to processors *offline* and they never migrate
+(Section IV-B).  The heuristics here are the classic first/best/worst/
+next-fit family, each guarded by a per-processor schedulability predicate
+(by default exact RM response-time analysis), with the usual
+decreasing-utilization preorder available.
+"""
+
+from repro.sched.analysis import rta_schedulable
+
+
+class PartitioningError(Exception):
+    """No processor could accept a task under the given predicate."""
+
+    def __init__(self, task, message=None):
+        super().__init__(
+            message or f"task {task.name!r} fits on no processor"
+        )
+        self.task = task
+
+
+def _default_predicate(tasks):
+    return rta_schedulable(tasks)
+
+
+def _order(tasks, decreasing):
+    tasks = list(tasks)
+    if decreasing:
+        return sorted(tasks, key=lambda t: (-t.utilization, t.name))
+    return tasks
+
+
+def first_fit(tasks, n_processors, predicate=None, decreasing=False):
+    """Assign each task to the lowest-indexed processor that accepts it.
+
+    :returns: list of task lists, one per processor.
+    """
+    predicate = predicate or _default_predicate
+    bins = [[] for _ in range(n_processors)]
+    for task in _order(tasks, decreasing):
+        for bin_tasks in bins:
+            if predicate(bin_tasks + [task]):
+                bin_tasks.append(task)
+                break
+        else:
+            raise PartitioningError(task)
+    return bins
+
+
+def next_fit(tasks, n_processors, predicate=None, decreasing=False):
+    """Keep filling the current processor; never revisit earlier ones."""
+    predicate = predicate or _default_predicate
+    bins = [[] for _ in range(n_processors)]
+    index = 0
+    for task in _order(tasks, decreasing):
+        while index < n_processors and not predicate(bins[index] + [task]):
+            index += 1
+        if index >= n_processors:
+            raise PartitioningError(task)
+        bins[index].append(task)
+    return bins
+
+
+def best_fit(tasks, n_processors, predicate=None, decreasing=False):
+    """Assign to the feasible processor with the *highest* utilization
+    (tightest fit)."""
+    predicate = predicate or _default_predicate
+    bins = [[] for _ in range(n_processors)]
+    for task in _order(tasks, decreasing):
+        candidates = [
+            (sum(t.utilization for t in bin_tasks), position)
+            for position, bin_tasks in enumerate(bins)
+            if predicate(bins[position] + [task])
+        ]
+        if not candidates:
+            raise PartitioningError(task)
+        _, position = max(candidates, key=lambda c: (c[0], -c[1]))
+        bins[position].append(task)
+    return bins
+
+
+def worst_fit(tasks, n_processors, predicate=None, decreasing=False):
+    """Assign to the feasible processor with the *lowest* utilization
+    (spreads load; the natural choice when optional parts want idle
+    siblings)."""
+    predicate = predicate or _default_predicate
+    bins = [[] for _ in range(n_processors)]
+    for task in _order(tasks, decreasing):
+        candidates = [
+            (sum(t.utilization for t in bin_tasks), position)
+            for position, bin_tasks in enumerate(bins)
+            if predicate(bins[position] + [task])
+        ]
+        if not candidates:
+            raise PartitioningError(task)
+        _, position = min(candidates, key=lambda c: (c[0], c[1]))
+        bins[position].append(task)
+    return bins
+
+
+_HEURISTICS = {
+    "first_fit": first_fit,
+    "next_fit": next_fit,
+    "best_fit": best_fit,
+    "worst_fit": worst_fit,
+}
+
+
+def partition_tasks(tasks, n_processors, heuristic="first_fit",
+                    predicate=None, decreasing=True):
+    """Partition ``tasks`` onto ``n_processors`` with a named heuristic.
+
+    :param heuristic: one of ``first_fit``, ``next_fit``, ``best_fit``,
+        ``worst_fit``.
+    :param decreasing: sort by decreasing utilization first (the usual
+        "-FD" variants).
+    :raises PartitioningError: if some task fits nowhere.
+    """
+    try:
+        fit = _HEURISTICS[heuristic]
+    except KeyError:
+        raise ValueError(
+            f"unknown heuristic {heuristic!r}; "
+            f"choose from {sorted(_HEURISTICS)}"
+        ) from None
+    return fit(tasks, n_processors, predicate=predicate,
+               decreasing=decreasing)

@@ -1,0 +1,76 @@
+"""P-RMWP: Partitioned Rate Monotonic with Wind-up Part [7].
+
+The algorithm RT-Seed implements (Section IV-B): tasks are assigned to
+processors offline by a bin-packing heuristic and never migrate; each
+processor runs uniprocessor RMWP over its partition.  The paper prefers
+partitioned over global semi-fixed-priority scheduling in middleware
+because global scheduling needs fine-grained processor control the OS
+does not expose to user space, and migration overheads are high.
+"""
+
+from repro.sched.partition import PartitioningError, partition_tasks
+from repro.sched.rmwp import RMWP
+
+
+class PRMWP:
+    """Partitioned semi-fixed-priority scheduling.
+
+    :param heuristic: bin-packing heuristic name (see
+        :func:`repro.sched.partition.partition_tasks`).
+    :param decreasing: pre-sort tasks by decreasing utilization.
+    """
+
+    name = "P-RMWP"
+
+    def __init__(self, heuristic="first_fit", decreasing=True):
+        self.heuristic = heuristic
+        self.decreasing = decreasing
+
+    def partition(self, taskset):
+        """Partition a :class:`~repro.model.task_model.TaskSet`.
+
+        Each processor's partition must pass uniprocessor RMWP
+        schedulability (RM feasibility of ``m+w`` workloads *and* valid
+        optional deadlines).
+
+        :returns: list of per-processor task lists.
+        :raises PartitioningError: when no feasible assignment is found.
+        """
+        return partition_tasks(
+            taskset.tasks,
+            taskset.n_processors,
+            heuristic=self.heuristic,
+            predicate=RMWP.is_schedulable,
+            decreasing=self.decreasing,
+        )
+
+    def is_schedulable(self, taskset):
+        """True iff the heuristic finds a feasible partition."""
+        try:
+            self.partition(taskset)
+        except PartitioningError:
+            return False
+        return True
+
+    def plan(self, taskset):
+        """Full offline plan: partition + per-processor priorities and
+        optional deadlines.
+
+        :returns: dict with ``partitions`` (task lists per CPU),
+            ``priorities`` (name -> RM rank within its processor, 0 =
+            highest) and ``optional_deadlines`` (name -> relative OD).
+        """
+        partitions = self.partition(taskset)
+        priorities = {}
+        optional_deadlines = {}
+        for tasks in partitions:
+            if not tasks:
+                continue
+            for rank, task in enumerate(RMWP.priority_order(tasks)):
+                priorities[task.name] = rank
+            optional_deadlines.update(RMWP.optional_deadlines(tasks))
+        return {
+            "partitions": partitions,
+            "priorities": priorities,
+            "optional_deadlines": optional_deadlines,
+        }

@@ -1,0 +1,60 @@
+"""Rate Monotonic scheduling [1] — "general scheduling" in the paper.
+
+Under general scheduling an imprecise task's whole WCET ``C = m + w`` runs
+as one block at its RM priority (Figure 3, left curve); there is no
+optional part and no sleep until the optional deadline.
+"""
+
+from repro.sched.analysis import (
+    hyperbolic_bound,
+    liu_layland_schedulable,
+    rta_schedulable,
+)
+
+
+class RateMonotonic:
+    """RM priority assignment + schedulability tests.
+
+    :param exact: use exact response-time analysis (default) rather than
+        the sufficient Liu & Layland bound.
+    """
+
+    name = "RM"
+
+    def __init__(self, exact=True):
+        self.exact = exact
+
+    @staticmethod
+    def priority_order(tasks):
+        """Tasks from highest to lowest RM priority (shortest period
+        first; name breaks ties deterministically)."""
+        return sorted(tasks, key=lambda t: (t.period, t.name))
+
+    @staticmethod
+    def assign_priorities(tasks, highest=99, lowest=1):
+        """Map task name -> integer priority in ``[lowest, highest]``.
+
+        Matches the middleware convention: larger number = more urgent.
+        """
+        ordered = RateMonotonic.priority_order(tasks)
+        if len(ordered) > highest - lowest + 1:
+            raise ValueError(
+                f"{len(ordered)} tasks do not fit in priority range "
+                f"[{lowest}, {highest}]"
+            )
+        return {
+            task.name: highest - index for index, task in enumerate(ordered)
+        }
+
+    def is_schedulable(self, tasks):
+        tasks = list(tasks)
+        if self.exact:
+            return rta_schedulable(tasks)
+        return liu_layland_schedulable(tasks)
+
+    @staticmethod
+    def sufficient_tests(tasks):
+        """(liu_layland, hyperbolic) sufficient-test verdicts, for the
+        analysis ablation bench."""
+        tasks = list(tasks)
+        return liu_layland_schedulable(tasks), hyperbolic_bound(tasks)

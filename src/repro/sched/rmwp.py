@@ -1,0 +1,71 @@
+"""RMWP: Rate Monotonic with Wind-up Part [5] on a uniprocessor.
+
+Semi-fixed-priority scheduling fixes the priority of each *part* and
+changes a task's priority at exactly two points (Section III): (i) when
+the mandatory part completes and the optional part starts (drop to the
+non-real-time band), and (ii) when the optional part completes or is
+terminated at the optional deadline and the wind-up part starts (raise
+back to the real-time band).
+
+Queues (Figure 4): RTQ holds tasks ready to run mandatory/wind-up parts
+in RM order; NRTQ holds tasks ready to run optional parts in RM order;
+every task in RTQ outranks every task in NRTQ; SQ holds tasks sleeping
+until their optional deadline or next release.
+"""
+
+from repro.model.optional_deadline import (
+    OptionalDeadlineError,
+    optional_deadlines_rmwp,
+)
+from repro.sched.analysis import rta_schedulable
+from repro.sched.rm import RateMonotonic
+
+
+class RMWP:
+    """Uniprocessor semi-fixed-priority scheduling with wind-up parts."""
+
+    name = "RMWP"
+
+    @staticmethod
+    def priority_order(tasks):
+        """Mandatory/wind-up parts are scheduled in RM order."""
+        return RateMonotonic.priority_order(tasks)
+
+    @staticmethod
+    def optional_deadlines(tasks):
+        """Relative optional deadline per task (offline, Theorem 2 of [5]).
+
+        By the paper's Theorems 1 and 2 these are identical in the
+        extended and parallel-extended models.
+        """
+        return optional_deadlines_rmwp(tasks)
+
+    @staticmethod
+    def is_schedulable(tasks):
+        """RMWP schedulability.
+
+        The mandatory + wind-up workload is exactly an RM workload with
+        ``C_i = m_i + w_i`` (optional parts never interfere), so the task
+        set is schedulable iff (a) RM accepts the ``m+w`` workload and
+        (b) every wind-up part admits a valid optional deadline.
+        """
+        tasks = list(tasks)
+        if not rta_schedulable(tasks):
+            return False
+        try:
+            optional_deadlines_rmwp(tasks)
+        except OptionalDeadlineError:
+            return False
+        return True
+
+    @staticmethod
+    def guaranteed_optional_window(task, optional_deadline,
+                                   mandatory_response_time):
+        """Lower bound on optional execution available to ``task``.
+
+        The optional part can run (at the latest) from the mandatory
+        part's worst-case completion until the optional deadline; a
+        negative value means the optional part may be *discarded*
+        entirely in the worst case.
+        """
+        return optional_deadline - mandatory_response_time

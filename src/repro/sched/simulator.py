@@ -1,0 +1,565 @@
+"""Event-driven reference simulator for (semi-fixed-priority) schedules.
+
+This is the *theory-level* simulator: unit-speed processors, zero
+overheads, exact part-level semantics.  It complements the middleware
+(which runs on the simulated Linux kernel with overheads) and is used to:
+
+* produce Figure 2 / Figure 3 traces (optional-deadline semantics,
+  remaining-execution-time curves);
+* empirically verify Theorems 1 and 2 (mandatory/wind-up schedules are
+  identical with and without parallel optional parts);
+* run schedulability ablations (deadline-miss ratios vs utilization).
+
+Semantics follow RMWP [5] strictly: the wind-up part is *released at the
+optional deadline* — a task whose optional parts complete early sleeps in
+SQ until its optional deadline (Figures 2–4).  The middleware implements
+the Figure 6 protocol instead, where an early-completing optional part
+wakes the mandatory thread immediately; the two coincide whenever
+optional parts overrun (as in the paper's evaluation) and the difference
+is covered by tests.
+"""
+
+import heapq
+
+from repro.model.job import Job, JobOutcome, OptionalPartRecord, PartType
+from repro.model.optional_deadline import optional_deadlines_rmwp
+from repro.model.task_model import (
+    ExtendedImpreciseTask,
+    ParallelExtendedImpreciseTask,
+)
+
+_EPSILON = 1e-6
+
+#: Priority bands (Figure 4): every RTQ task outranks every NRTQ task.
+_RT_BAND = 1
+_NRT_BAND = 0
+
+
+class _Item:
+    """One schedulable strand (a part of a job, or a whole L&L job)."""
+
+    __slots__ = ("job", "part", "part_index", "remaining", "cpu", "band",
+                 "rank", "started", "record", "seg_start")
+
+    def __init__(self, job, part, remaining, cpu, band, rank,
+                 part_index=None, record=None):
+        self.job = job
+        self.part = part
+        self.part_index = part_index
+        self.remaining = remaining
+        self.cpu = cpu
+        self.band = band
+        self.rank = rank
+        self.started = False
+        self.record = record
+        self.seg_start = None
+
+    def priority_key(self):
+        """Smaller sorts first: (band desc, rank asc, release, name)."""
+        return (
+            -self.band,
+            self.rank,
+            self.job.release,
+            self.job.task.name,
+            self.part_index if self.part_index is not None else -1,
+        )
+
+    def __repr__(self):
+        return (
+            f"<Item {self.job.task.name}#{self.job.index} {self.part.value}"
+            f"{'' if self.part_index is None else f'[{self.part_index}]'} "
+            f"rem={self.remaining:.1f} cpu={self.cpu}>"
+        )
+
+
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    def __init__(self, jobs, horizon, migrations=0):
+        self.jobs = jobs
+        self.horizon = horizon
+        self.migrations = migrations
+
+    @property
+    def deadline_misses(self):
+        return [j for j in self.jobs if j.outcome is JobOutcome.DEADLINE_MISS]
+
+    @property
+    def incomplete(self):
+        return [j for j in self.jobs if j.outcome is JobOutcome.RUNNING]
+
+    @property
+    def all_deadlines_met(self):
+        return not self.deadline_misses and not self.incomplete
+
+    @property
+    def total_optional_time(self):
+        """Aggregate QoS: optional execution summed over all jobs."""
+        return sum(j.optional_time_executed for j in self.jobs)
+
+    def jobs_of(self, task_name):
+        return [j for j in self.jobs if j.task.name == task_name]
+
+    def mandatory_windup_schedule(self):
+        """Sorted (start, end, task, job_index, part) tuples for real-time
+        segments only — the object Theorems 1 and 2 quantify over.
+
+        Adjacent segments of the same part are merged, so two runs that
+        fragment execution differently (because unrelated events split
+        the charge intervals) compare equal iff the schedules are equal.
+        """
+        rows = []
+        for job in self.jobs:
+            for start, end, part, _cpu in sorted(job.segments):
+                if part not in (PartType.MANDATORY, PartType.WINDUP,
+                                PartType.WHOLE):
+                    continue
+                key = (job.task.name, job.index, part.value)
+                if rows and rows[-1][2:] == key and \
+                        abs(rows[-1][1] - start) <= _EPSILON:
+                    rows[-1] = (rows[-1][0], end) + key
+                else:
+                    rows.append((start, end) + key)
+        return sorted(rows)
+
+    @staticmethod
+    def schedules_equal(first, second, tolerance=1e-6):
+        """Compare two :meth:`mandatory_windup_schedule` outputs with a
+        float tolerance on the time columns (event fragmentation produces
+        last-ulp differences between otherwise identical runs)."""
+        if len(first) != len(second):
+            return False
+        for (s1, e1, *key1), (s2, e2, *key2) in zip(first, second):
+            if key1 != key2:
+                return False
+            if abs(s1 - s2) > tolerance or abs(e1 - e2) > tolerance:
+                return False
+        return True
+
+    def __repr__(self):
+        return (
+            f"<SimulationResult jobs={len(self.jobs)} "
+            f"misses={len(self.deadline_misses)} horizon={self.horizon}>"
+        )
+
+
+class ScheduleSimulator:
+    """Preemptive priority-driven schedule simulation.
+
+    :param taskset: a :class:`~repro.model.task_model.TaskSet`.
+    :param policy: ``"rm"`` (general scheduling — whole ``C = m + w`` at
+        RM priority), ``"edf"``, or ``"rmwp"`` (semi-fixed-priority with
+        parts).
+    :param assignment: task name -> CPU (partitioned).  Defaults to CPU 0
+        for every task.
+    :param optional_assignment: task name -> list of CPUs for its parallel
+        optional parts (defaults to the task's own CPU for every part;
+        parts never migrate, per Section II-A).
+    :param global_sched: migrate mandatory/wind-up parts freely among
+        processors (G-RMWP / global RM).  Parallel optional parts stay
+        pinned regardless.
+    :param optional_deadlines: task name -> relative OD.  Computed with
+        :func:`~repro.model.optional_deadline.optional_deadlines_rmwp`
+        per partition when omitted.
+    """
+
+    def __init__(self, taskset, policy="rmwp", assignment=None,
+                 optional_assignment=None, global_sched=False,
+                 optional_deadlines=None):
+        if policy not in ("rm", "edf", "rmwp"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.taskset = taskset
+        self.policy = policy
+        self.global_sched = global_sched
+        self.n_cpus = taskset.n_processors
+        self.assignment = dict(assignment or {})
+        for task in taskset:
+            self.assignment.setdefault(task.name, 0)
+        for name, cpu in self.assignment.items():
+            if not 0 <= cpu < self.n_cpus:
+                raise ValueError(f"{name}: CPU {cpu} out of range")
+        self.optional_assignment = dict(optional_assignment or {})
+
+        if policy == "rmwp":
+            for task in taskset:
+                if not isinstance(task, (ExtendedImpreciseTask,
+                                         ParallelExtendedImpreciseTask)):
+                    raise TypeError(
+                        f"{task.name}: RMWP needs extended imprecise tasks"
+                    )
+            if optional_deadlines is None:
+                optional_deadlines = self._compute_optional_deadlines()
+            self.optional_deadlines = dict(optional_deadlines)
+        else:
+            self.optional_deadlines = {}
+
+        # RM rank (0 = highest) per task, computed over the whole set so
+        # ranks are stable across partitions.
+        ordered = sorted(taskset.tasks, key=lambda t: (t.period, t.name))
+        self._rm_rank = {t.name: i for i, t in enumerate(ordered)}
+
+    def _compute_optional_deadlines(self):
+        if self.global_sched:
+            return optional_deadlines_rmwp(self.taskset.tasks)
+        by_cpu = {}
+        for task in self.taskset:
+            by_cpu.setdefault(self.assignment[task.name], []).append(task)
+        deadlines = {}
+        for tasks in by_cpu.values():
+            deadlines.update(optional_deadlines_rmwp(tasks))
+        return deadlines
+
+    # ------------------------------------------------------------------
+
+    def run(self, until=None, max_jobs_per_task=None):
+        """Simulate the schedule.
+
+        :param until: horizon (defaults to the hyperperiod).
+        :param max_jobs_per_task: stop releasing after this many jobs.
+        :returns: :class:`SimulationResult`.
+        """
+        horizon = until if until is not None else self.taskset.hyperperiod
+        jobs = []
+        ready = []
+        running = [None] * self.n_cpus
+        migrations = 0
+        #: (time, kind, payload) kernel of future state changes; kind 0 =
+        #: release (task), kind 1 = optional deadline (job).
+        event_heap = []
+        seq = 0
+
+        for task in self.taskset:
+            heapq.heappush(event_heap, (0.0, 0, seq, ("release", task, 0)))
+            seq += 1
+
+        def rank_of(job):
+            if self.policy == "edf":
+                return job.deadline
+            return self._rm_rank[job.task.name]
+
+        def make_windup_item(job):
+            return _Item(job, PartType.WINDUP, job.task.windup,
+                         self.assignment[job.task.name], _RT_BAND,
+                         rank_of(job))
+
+        def release_windup(job, time):
+            job.windup_released = time
+            ready.append(make_windup_item(job))
+
+        def finish_optional_part(item, time, fate):
+            record = item.record
+            record.ended_at = time
+            record.fate = fate
+            record.executed = (
+                self._optional_length(item) - max(item.remaining, 0.0)
+            )
+
+        def handle_od(job, time):
+            if job.mandatory_completed is None:
+                # Figure 2, tau2: mandatory overran its optional deadline;
+                # the wind-up runs at mandatory completion, no optional.
+                job.od_passed_before_mandatory = True
+                return
+            if job.windup_released is not None:
+                return
+            # Terminate running/ready optional items of this job.
+            for cpu, item in enumerate(running):
+                if item is not None and item.job is job \
+                        and item.part is PartType.OPTIONAL:
+                    finish_optional_part(item, time, "terminated")
+                    running[cpu] = None
+            for item in list(ready):
+                if item.job is job and item.part is PartType.OPTIONAL:
+                    fate = "terminated" if item.started else "discarded"
+                    finish_optional_part(item, time, fate)
+                    ready.remove(item)
+            release_windup(job, time)
+
+        def complete_item(item, time):
+            job = item.job
+            if item.part is PartType.WHOLE:
+                job.completed = time
+            elif item.part is PartType.MANDATORY:
+                job.mandatory_completed = time
+                if getattr(job, "od_passed_before_mandatory", False):
+                    for record in job.optional_parts:
+                        record.fate = "discarded"
+                        record.ended_at = time
+                    release_windup(job, time)
+                else:
+                    self._release_optional(job, time, ready, rank_of)
+                    if not job.optional_parts:
+                        # no optional work: sleep in SQ until the OD
+                        pass
+            elif item.part is PartType.OPTIONAL:
+                finish_optional_part(item, time, "completed")
+                # RMWP semantics: even when every optional part completes
+                # early the task sleeps until its optional deadline; the
+                # wind-up item is created by handle_od.
+            elif item.part is PartType.WINDUP:
+                job.windup_completed = time
+                job.completed = time
+
+        time = 0.0
+        while True:
+            # -- next state-change time ---------------------------------
+            candidates = []
+            if event_heap:
+                candidates.append(event_heap[0][0])
+            for item in running:
+                if item is not None:
+                    candidates.append(time + item.remaining)
+            if not candidates:
+                break
+            next_time = max(min(candidates), time)
+            if next_time > horizon + _EPSILON:
+                # close open execution at the horizon
+                for cpu, item in enumerate(running):
+                    if item is not None and horizon > time:
+                        item.job.record_segment(
+                            time, horizon, item.part, cpu
+                        )
+                        item.remaining -= horizon - time
+                        self._account_optional(item)
+                time = horizon
+                break
+
+            # -- charge running items & close segments -------------------
+            delta = next_time - time
+            if delta > 0:
+                for cpu, item in enumerate(running):
+                    if item is None:
+                        continue
+                    item.remaining -= delta
+                    item.job.record_segment(
+                        time, next_time, item.part, cpu
+                    )
+            time = next_time
+
+            # -- completions ---------------------------------------------
+            for cpu, item in enumerate(running):
+                if item is not None and item.remaining <= _EPSILON:
+                    running[cpu] = None
+                    complete_item(item, time)
+
+            # -- timed events (releases, optional deadlines) -------------
+            while event_heap and event_heap[0][0] <= time + _EPSILON:
+                _, _, _, payload = heapq.heappop(event_heap)
+                if payload[0] == "release":
+                    _, task, index = payload
+                    if (max_jobs_per_task is not None
+                            and index >= max_jobs_per_task):
+                        continue
+                    release = index * task.period
+                    if release > horizon - _EPSILON:
+                        continue
+                    job = self._make_job(task, index, release)
+                    jobs.append(job)
+                    ready.append(self._initial_item(job, rank_of))
+                    if job.optional_deadline is not None:
+                        heapq.heappush(
+                            event_heap,
+                            (job.optional_deadline, 1, seq, ("od", job)),
+                        )
+                        seq += 1
+                    heapq.heappush(
+                        event_heap,
+                        ((index + 1) * task.period, 0, seq,
+                         ("release", task, index + 1)),
+                    )
+                    seq += 1
+                elif payload[0] == "od":
+                    handle_od(payload[1], time)
+
+            # -- (re)allocate CPUs ---------------------------------------
+            migrations += self._allocate(ready, running, time)
+
+        return SimulationResult(jobs, horizon, migrations=migrations)
+
+    # ------------------------------------------------------------------
+
+    def _make_job(self, task, index, release):
+        relative_od = self.optional_deadlines.get(task.name)
+        job = Job(
+            task,
+            index,
+            release,
+            release + task.deadline,
+            optional_deadline=(
+                None if relative_od is None else release + relative_od
+            ),
+        )
+        if self.policy == "rmwp":
+            optionals = getattr(task, "optionals", None)
+            if optionals is None:
+                optionals = [task.optional] if task.optional > 0 else []
+            cpus = self.optional_assignment.get(
+                task.name, [self.assignment[task.name]] * len(optionals)
+            )
+            if len(cpus) != len(optionals):
+                raise ValueError(
+                    f"{task.name}: {len(cpus)} optional CPUs for "
+                    f"{len(optionals)} optional parts"
+                )
+            for part_index, cpu in enumerate(cpus):
+                job.optional_parts.append(
+                    OptionalPartRecord(part_index, cpu=cpu)
+                )
+        return job
+
+    def _initial_item(self, job, rank_of):
+        cpu = self.assignment[job.task.name]
+        if self.policy == "rmwp":
+            return _Item(job, PartType.MANDATORY, job.task.mandatory, cpu,
+                         _RT_BAND, rank_of(job))
+        return _Item(job, PartType.WHOLE, job.task.wcet, cpu, _RT_BAND,
+                     rank_of(job))
+
+    def _release_optional(self, job, time, ready, rank_of):
+        task = job.task
+        optionals = getattr(task, "optionals", None)
+        if optionals is None:
+            optionals = [task.optional] if task.optional > 0 else []
+        for record in job.optional_parts:
+            length = optionals[record.index]
+            if length <= 0:
+                record.fate = "completed"
+                record.ended_at = time
+                continue
+            ready.append(
+                _Item(job, PartType.OPTIONAL, length, record.cpu,
+                      _NRT_BAND, rank_of(job), part_index=record.index,
+                      record=record)
+            )
+
+    def _allocate(self, ready, running, time):
+        """Pick what runs where.  Returns the number of migrations."""
+        migrations = 0
+        if self.global_sched:
+            migrations += self._allocate_global(ready, running, time)
+        else:
+            self._allocate_partitioned(ready, running, time)
+        # stamp start bookkeeping
+        for cpu, item in enumerate(running):
+            if item is None:
+                continue
+            item.seg_start = time
+            if not item.started:
+                item.started = True
+                job = item.job
+                if item.part is PartType.MANDATORY and \
+                        job.mandatory_started is None:
+                    job.mandatory_started = time
+                elif item.part is PartType.WINDUP and \
+                        job.windup_started is None:
+                    job.windup_started = time
+                elif item.part is PartType.OPTIONAL and item.record and \
+                        item.record.started_at is None:
+                    item.record.started_at = time
+            if item.part is PartType.OPTIONAL and item.record is not None:
+                item.record.executed = (
+                    self._optional_length(item) - item.remaining
+                )
+        return migrations
+
+    @staticmethod
+    def _optional_length(item):
+        task = item.job.task
+        optionals = getattr(task, "optionals", None)
+        if optionals is None:
+            return task.optional
+        return optionals[item.part_index]
+
+    def _allocate_partitioned(self, ready, running, time):
+        for cpu in range(self.n_cpus):
+            candidates = [i for i in ready if i.cpu == cpu]
+            current = running[cpu]
+            if current is not None:
+                candidates.append(current)
+            if not candidates:
+                continue
+            best = min(candidates, key=lambda i: i.priority_key())
+            if best is not current:
+                if current is not None:
+                    # preempted: close its optional-progress accounting
+                    self._account_optional(current)
+                    ready.append(current)
+                ready.remove(best)
+                running[cpu] = best
+
+    def _allocate_global(self, ready, running, time):
+        migrations = 0
+        # Real-time items migrate freely; optional items stay pinned.
+        rt_pool = [i for i in ready if i.band == _RT_BAND]
+        for item in running:
+            if item is not None and item.band == _RT_BAND:
+                rt_pool.append(item)
+        rt_pool.sort(key=lambda i: i.priority_key())
+        chosen = rt_pool[: self.n_cpus]
+        chosen_set = set(map(id, chosen))
+
+        # Clear CPUs whose current RT item lost its slot.
+        for cpu in range(self.n_cpus):
+            item = running[cpu]
+            if item is None:
+                continue
+            if item.band == _RT_BAND and id(item) not in chosen_set:
+                self._account_optional(item)
+                ready.append(item)
+                running[cpu] = None
+            elif item.band == _NRT_BAND:
+                # optional items yield to incoming RT work if needed later
+                pass
+
+        # Place chosen RT items: keep items already on a CPU in place.
+        placed = set()
+        for cpu in range(self.n_cpus):
+            item = running[cpu]
+            if item is not None and id(item) in chosen_set:
+                placed.add(id(item))
+        for item in chosen:
+            if id(item) in placed:
+                continue
+            # evict an optional item or take an idle CPU
+            target = None
+            for cpu in range(self.n_cpus):
+                if running[cpu] is None:
+                    target = cpu
+                    break
+            if target is None:
+                for cpu in range(self.n_cpus):
+                    if running[cpu] is not None and \
+                            running[cpu].band == _NRT_BAND:
+                        target = cpu
+                        break
+            if target is None:
+                break  # no slot (should not happen: len(chosen) <= M)
+            current = running[target]
+            if current is not None:
+                self._account_optional(current)
+                ready.append(current)
+            if item in ready:
+                ready.remove(item)
+            if item.started and item.cpu != target:
+                migrations += 1
+            item.cpu = target
+            running[target] = item
+
+        # Fill remaining idle CPUs with their pinned optional items.
+        for cpu in range(self.n_cpus):
+            if running[cpu] is not None:
+                continue
+            candidates = [
+                i for i in ready if i.band == _NRT_BAND and i.cpu == cpu
+            ]
+            if candidates:
+                best = min(candidates, key=lambda i: i.priority_key())
+                ready.remove(best)
+                running[cpu] = best
+        return migrations
+
+    def _account_optional(self, item):
+        if item.part is PartType.OPTIONAL and item.record is not None:
+            item.record.executed = (
+                self._optional_length(item) - item.remaining
+            )

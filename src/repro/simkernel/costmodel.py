@@ -1,0 +1,100 @@
+"""Micro-cost hooks for the simulated kernel.
+
+The kernel consults a :class:`CostModel` at well-defined points and charges
+the returned nanoseconds as extra CPU work.  The default
+:class:`ZeroCostModel` charges nothing, so functional tests observe pure
+queueing/priority semantics; the Xeon Phi reproduction installs
+:class:`repro.hardware.overheads.XeonPhiCostModel`, whose per-event costs
+make the paper's Figures 10–13 *emerge* from the protocol (e.g. Δb grows
+linearly with np because the mandatory thread issues np priced
+``pthread_cond_signal`` calls; Figure 13's policy ordering emerges from
+cross-core lock-handoff pricing).
+"""
+
+
+class CostModel:
+    """Interface.  All hooks return nanoseconds of CPU work to charge.
+
+    Subclasses override what they care about; the base charges zero.
+    """
+
+    def context_switch(self, cpu, prev_thread, next_thread, kernel):
+        """Charged to the incoming thread on every dispatch."""
+        return 0.0
+
+    def wakeup_latency(self, thread, kernel, kind="sync"):
+        """Delay between a wake event and the thread becoming runnable.
+
+        ``kind`` is ``"sleep"`` for a ``clock_nanosleep`` expiry (timer
+        interrupt + IPI, caches gone cold over a period-long sleep) or
+        ``"sync"`` for a condvar/mutex handoff wake (warmer, shorter
+        path)."""
+        return 0.0
+
+    def cond_signal(self, signaler, woken_thread, kernel):
+        """Charged to the signalling thread per ``pthread_cond_signal``.
+
+        ``woken_thread`` is ``None`` when the signal found no waiter.
+        """
+        return 0.0
+
+    def timer_handler(self, thread, kernel):
+        """Charged to a thread when a signal handler runs on it."""
+        return 0.0
+
+    def unwind(self, thread, kernel):
+        """Charged for a ``siglongjmp`` stack/context restore."""
+        return 0.0
+
+    def mutex_handoff(self, mutex, prev_cpu, next_cpu, contended, kernel):
+        """Charged to the acquiring thread when a mutex transfers between
+        CPUs.  ``contended`` is True when the acquirer was queued and
+        received the lock via release-handoff (the futex slow path, where
+        cross-core cache-line transfer and wake-up costs bite); False for
+        an uncontended fast-path acquisition."""
+        return 0.0
+
+    def syscall(self, request, thread, kernel):
+        """Flat per-syscall entry cost (non-Compute requests)."""
+        return 0.0
+
+
+class ZeroCostModel(CostModel):
+    """Charges nothing anywhere — pure logical simulation."""
+
+
+class ScaledCostModel(CostModel):
+    """Wrap another cost model, scaling every charge by ``factor``.
+
+    Useful for sensitivity ablations ("would the orderings hold if the
+    platform were 2x slower at context switches?").
+    """
+
+    def __init__(self, inner, factor):
+        self.inner = inner
+        self.factor = float(factor)
+
+    def context_switch(self, cpu, prev_thread, next_thread, kernel):
+        return self.factor * self.inner.context_switch(
+            cpu, prev_thread, next_thread, kernel
+        )
+
+    def wakeup_latency(self, thread, kernel, kind="sync"):
+        return self.factor * self.inner.wakeup_latency(thread, kernel, kind)
+
+    def cond_signal(self, signaler, woken_thread, kernel):
+        return self.factor * self.inner.cond_signal(signaler, woken_thread, kernel)
+
+    def timer_handler(self, thread, kernel):
+        return self.factor * self.inner.timer_handler(thread, kernel)
+
+    def unwind(self, thread, kernel):
+        return self.factor * self.inner.unwind(thread, kernel)
+
+    def mutex_handoff(self, mutex, prev_cpu, next_cpu, contended, kernel):
+        return self.factor * self.inner.mutex_handoff(
+            mutex, prev_cpu, next_cpu, contended, kernel
+        )
+
+    def syscall(self, request, thread, kernel):
+        return self.factor * self.inner.syscall(request, thread, kernel)

@@ -1,0 +1,184 @@
+"""CPU topology: cores, hardware threads, and SMT rate sharing.
+
+The paper evaluates on a Xeon Phi 3120A: 57 in-order cores, each with four
+hardware threads sharing the core pipeline.  A *CPU* in Linux terms is a
+hardware thread; scheduling happens per hardware thread, but compute
+throughput is shared per core.  The Xeon Phi's in-order pipeline cannot
+issue from the same hardware thread on consecutive cycles, so a single
+busy hardware thread only reaches about half of a core's peak throughput;
+two or more busy hardware threads share the core evenly.  That quirk is
+captured by the default share function and matters to the QoS ablation
+(one-by-one placement gives each optional part more throughput than
+all-by-all).
+"""
+
+
+def xeon_phi_share(busy_count):
+    """Per-thread throughput share for ``busy_count`` busy siblings.
+
+    ``1 -> 0.5`` models the in-order two-cycle issue restriction; for two
+    or more busy hardware threads the core's full throughput is divided
+    evenly.  ``busy_count`` may be fractional when background load is
+    weighted (see :class:`Core`).
+    """
+    if busy_count <= 0:
+        return 0.0
+    if busy_count <= 1:
+        return 0.5
+    return 1.0 / busy_count
+
+
+def uniform_share(busy_count):
+    """Idealised share function: a lone thread gets the whole core."""
+    if busy_count <= 0:
+        return 0.0
+    return 1.0 / max(busy_count, 1.0)
+
+
+class HardwareThread:
+    """One logical CPU (Linux CPU id).
+
+    ``background_busy`` marks a hardware thread occupied by a background
+    load task (the paper's CPU load / CPU-Memory load experiments run
+    infinite loops on *all* hardware threads).  Background work never
+    generates simulation events; it only occupies pipeline share whenever
+    no SCHED_FIFO thread is computing on the hardware thread.
+    """
+
+    __slots__ = ("cpu_id", "core", "background_busy")
+
+    def __init__(self, cpu_id, core):
+        self.cpu_id = cpu_id
+        self.core = core
+        self.background_busy = False
+
+    def __repr__(self):
+        return f"<HardwareThread cpu={self.cpu_id} core={self.core.core_id}>"
+
+
+class Core:
+    """A physical core owning ``threads_per_core`` hardware threads.
+
+    ``background_weight`` controls how strongly declarative background
+    load steals pipeline share from simulated threads.  The evaluation
+    machine sets it to 0: the paper's Figures 10–13 measure *latency
+    contention* (cache pollution, branch-unit pressure — injected through
+    the cost model), not throughput loss on the pinned real-time core,
+    and the paper's part WCETs are wall-clock budgets that already
+    "include the overheads".  QoS ablations may set it to 1.0 to study
+    throughput interference too.
+    """
+
+    __slots__ = ("core_id", "hw_threads", "speed", "share_fn",
+                 "background_weight")
+
+    def __init__(self, core_id, speed, share_fn, background_weight=1.0):
+        self.core_id = core_id
+        self.hw_threads = []
+        self.speed = speed
+        self.share_fn = share_fn
+        self.background_weight = background_weight
+
+    def rate_for(self, computing_hw_count, background_hw_count):
+        """Throughput (work-ns per sim-ns) for each computing thread.
+
+        :param computing_hw_count: hardware threads of this core currently
+            running a SCHED_FIFO/OTHER compute step.
+        :param background_hw_count: additional hardware threads occupied by
+            declarative background load.
+        """
+        busy = computing_hw_count + self.background_weight * background_hw_count
+        if computing_hw_count <= 0:
+            return 0.0
+        return self.speed * self.share_fn(busy)
+
+    def __repr__(self):
+        return f"<Core {self.core_id} hw={[t.cpu_id for t in self.hw_threads]}>"
+
+
+class Topology:
+    """A machine: ``n_cores`` cores x ``threads_per_core`` hardware threads.
+
+    CPU ids are assigned the way the Xeon Phi (and the paper's Figure 8)
+    numbers them: **core-major by default** (cpu = core * threads_per_core
+    + hw) or **thread-major** (cpu = hw * n_cores + core).  The paper's
+    assignment policies reason in terms of "hardware thread j of core c",
+    so the topology exposes :meth:`cpu_of` for that mapping and policies
+    never depend on the raw numbering.
+
+    :param n_cores: number of physical cores.
+    :param threads_per_core: SMT width.
+    :param speed: core throughput in work-ns per sim-ns (1.0 = nominal).
+    :param share_fn: SMT share function, e.g. :func:`xeon_phi_share`.
+    """
+
+    def __init__(
+        self,
+        n_cores,
+        threads_per_core,
+        speed=1.0,
+        share_fn=xeon_phi_share,
+        numbering="core_major",
+        background_weight=1.0,
+    ):
+        if n_cores < 1 or threads_per_core < 1:
+            raise ValueError("topology needs at least one core and thread")
+        if numbering not in ("core_major", "thread_major"):
+            raise ValueError(f"unknown numbering: {numbering!r}")
+        self.n_cores = n_cores
+        self.threads_per_core = threads_per_core
+        self.numbering = numbering
+        self.cores = [
+            Core(c, speed, share_fn, background_weight=background_weight)
+            for c in range(n_cores)
+        ]
+        self.hw_threads = [None] * (n_cores * threads_per_core)
+        for core in self.cores:
+            for hw in range(threads_per_core):
+                cpu_id = self._cpu_id(core.core_id, hw)
+                thread = HardwareThread(cpu_id, core)
+                core.hw_threads.append(thread)
+                self.hw_threads[cpu_id] = thread
+
+    def _cpu_id(self, core_id, hw_index):
+        if self.numbering == "core_major":
+            return core_id * self.threads_per_core + hw_index
+        return hw_index * self.n_cores + core_id
+
+    @property
+    def n_cpus(self):
+        """Total number of hardware threads (Linux CPUs)."""
+        return self.n_cores * self.threads_per_core
+
+    def cpu_of(self, core_id, hw_index):
+        """CPU id of hardware thread ``hw_index`` on core ``core_id``."""
+        if not 0 <= core_id < self.n_cores:
+            raise ValueError(f"core {core_id} out of range")
+        if not 0 <= hw_index < self.threads_per_core:
+            raise ValueError(f"hw thread {hw_index} out of range")
+        return self.cores[core_id].hw_threads[hw_index].cpu_id
+
+    def core_of(self, cpu_id):
+        """The :class:`Core` owning CPU ``cpu_id``."""
+        return self.hw_threads[cpu_id].core
+
+    def siblings(self, cpu_id):
+        """CPU ids sharing a core with ``cpu_id`` (including itself)."""
+        return [t.cpu_id for t in self.hw_threads[cpu_id].core.hw_threads]
+
+    def set_background_load(self, cpu_ids=None, busy=True):
+        """Mark hardware threads as occupied by background load.
+
+        ``cpu_ids=None`` marks every hardware thread — the paper's load
+        experiments run the load program on all 228 hardware threads.
+        """
+        if cpu_ids is None:
+            cpu_ids = range(self.n_cpus)
+        for cpu_id in cpu_ids:
+            self.hw_threads[cpu_id].background_busy = busy
+
+    def __repr__(self):
+        return (
+            f"<Topology {self.n_cores}x{self.threads_per_core} "
+            f"({self.n_cpus} CPUs)>"
+        )

@@ -1,0 +1,51 @@
+"""Exception types for the simulated kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulated-kernel errors."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while threads were still blocked.
+
+    Carries a human-readable diagnosis of which threads are stuck and on
+    what, so middleware bugs (lost wake-ups, forgotten timers) surface with
+    an actionable message instead of a silent hang.
+    """
+
+    def __init__(self, message, blocked_threads=()):
+        super().__init__(message)
+        self.blocked_threads = tuple(blocked_threads)
+
+
+class SchedulingError(SimulationError):
+    """An invalid scheduling request (bad priority, unknown CPU, ...)."""
+
+
+class SyscallError(SimulationError):
+    """A syscall request was malformed or issued in an invalid state."""
+
+
+class SignalUnwind(BaseException):
+    """Thrown into a thread's coroutine to model ``siglongjmp`` unwinding.
+
+    The paper terminates overrunning parallel optional parts by having the
+    ``SIGALRM`` handler call ``siglongjmp`` back to the ``sigsetjmp`` point
+    (Figure 7).  In the coroutine world the kernel models this by throwing
+    ``SignalUnwind`` into the generator at the interruption point; it
+    propagates out of the optional-part body exactly as the longjmp unwinds
+    the C stack.  It subclasses :class:`BaseException` so ordinary
+    ``except Exception`` blocks inside user code cannot swallow it by
+    accident — only the strategy code that models the ``sigsetjmp`` site
+    catches it.
+
+    :param signum: signal number whose handler initiated the unwind.
+    :param restore_mask: whether the unwind restores the saved signal mask
+        (``siglongjmp`` from a ``sigsetjmp(..., savemask=1)`` does; a C++
+        ``try``/``catch`` termination does *not* — Table I of the paper).
+    """
+
+    def __init__(self, signum, restore_mask=True):
+        super().__init__(f"signal {signum} unwind")
+        self.signum = signum
+        self.restore_mask = restore_mask

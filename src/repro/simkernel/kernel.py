@@ -1,0 +1,843 @@
+"""The simulated kernel: dispatch, preemption, syscalls, signals.
+
+Execution model
+---------------
+
+Each :class:`~repro.simkernel.thread.KernelThread` wraps a generator that
+``yield``\\ s syscall requests.  The kernel keeps, per CPU (hardware
+thread), a :class:`~repro.simkernel.runqueue.FifoRunQueue` and a pointer to
+the currently running thread.  Scheduling decisions are deferred through
+the event queue (a ``need_resched``-style flag per CPU), which keeps event
+ordering deterministic and models the fact that on real Linux a wake-up on
+another CPU takes effect at the next scheduling point, not instantly.
+
+``Compute`` requests are the only *divisible* work: they can be preempted,
+slowed down by SMT sharing (all computing hardware threads of a core split
+the core's throughput, see :class:`~repro.simkernel.cpu.Core`), and
+interrupted by signal delivery.  Everything else is instantaneous apart
+from micro-costs charged through the installed
+:class:`~repro.simkernel.costmodel.CostModel`.
+
+Background load (the paper's CPU load / CPU-Memory load) is declarative:
+hardware threads flagged ``background_busy`` consume pipeline share
+whenever no simulated thread occupies them, without generating events.
+"""
+
+from collections import deque
+from functools import partial
+
+from repro.simkernel.costmodel import ZeroCostModel
+from repro.simkernel.engine import Engine
+from repro.simkernel.errors import (
+    DeadlockError,
+    SchedulingError,
+    SignalUnwind,
+    SyscallError,
+)
+from repro.simkernel.signals import (
+    SIG_DFL,
+    SIG_IGN,
+    CallbackDisposition,
+    UnwindDisposition,
+)
+from repro.simkernel.syscalls import (
+    ClockNanosleep,
+    Compute,
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    Exit,
+    GetCpu,
+    GetTime,
+    MutexLock,
+    MutexUnlock,
+    SchedSetAffinity,
+    SchedSetScheduler,
+    SchedYield,
+    SetSignalMask,
+    Sigaction,
+    Spawn,
+    TimerSettime,
+)
+from repro.simkernel.thread import KernelThread, SchedPolicy, ThreadState
+
+#: Event priority for deferred scheduling decisions (runs after timer
+#: expiries queued at the same instant, so a timer posted "now" is visible
+#: to the dispatch decision).
+_RESCHED_EVENT_PRIO = 5
+
+#: Safety valve: maximum zero-cost syscalls processed in one burst before
+#: the kernel forces a trip through the event queue.
+_MAX_SYNC_STEPS = 100_000
+
+
+class Kernel:
+    """A simulated machine: topology + event engine + scheduler state.
+
+    :param topology: the :class:`~repro.simkernel.cpu.Topology` to run on.
+    :param cost_model: a :class:`~repro.simkernel.costmodel.CostModel`;
+        defaults to :class:`~repro.simkernel.costmodel.ZeroCostModel`.
+    :param engine: optionally share an :class:`~repro.simkernel.engine.Engine`.
+    """
+
+    def __init__(self, topology, cost_model=None, engine=None):
+        self.topology = topology
+        self.cost_model = cost_model or ZeroCostModel()
+        self.engine = engine or Engine()
+        n = topology.n_cpus
+        from repro.simkernel.runqueue import FifoRunQueue
+
+        self.runqueues = [FifoRunQueue(cpu) for cpu in range(n)]
+        self.other_queues = [deque() for _ in range(n)]
+        self.current = [None] * n
+        self.threads = []
+        #: when each CPU last became free of simulated threads — i.e. when
+        #: background load (if flagged) resumed there.  Cost models use
+        #: this to price contention against *warm* (long-running) vs
+        #: *cold* (freshly resumed) background tasks.
+        self.background_resume_time = [float("-inf")] * n
+        self._last_running = [None] * n
+        self._resched_pending = [False] * n
+        self._core_computing = [set() for _ in range(topology.n_cores)]
+        #: optional observer: callable(event_name, thread, time) for traces.
+        self.on_event = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self):
+        """Current simulated time in nanoseconds."""
+        return self.engine.now
+
+    @property
+    def nr_running(self):
+        """Number of CPUs currently executing a SCHED_FIFO thread.
+
+        Cost models use this as dispatch pressure: with hundreds of
+        just-woken real-time threads active, scheduler bookkeeping and
+        run-queue cache lines are hot and context switches cost more.
+        """
+        return sum(
+            1 for thread in self.current
+            if thread is not None and thread.policy is SchedPolicy.FIFO
+        )
+
+    def spawn(self, thread):
+        """Register and start a thread (it becomes READY immediately)."""
+        if thread.state is not ThreadState.NEW:
+            raise SchedulingError(f"{thread!r} already started")
+        self._check_cpu(thread.cpu)
+        thread.materialize()
+        self.threads.append(thread)
+        self._emit("spawn", thread)
+        self._make_ready(thread)
+        return thread
+
+    def create_thread(self, name, body, cpu=0, priority=1,
+                      policy=SchedPolicy.FIFO):
+        """Convenience: construct a :class:`KernelThread` and spawn it."""
+        thread = KernelThread(name, body, cpu=cpu, priority=priority,
+                              policy=policy)
+        return self.spawn(thread)
+
+    def run(self, until=None, max_events=None):
+        """Drain events (optionally bounded); returns events executed."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def run_to_completion(self, max_events=None):
+        """Run until every spawned thread terminated.
+
+        Raises :class:`DeadlockError` with a diagnosis if the event queue
+        drains while threads are still blocked or ready.
+        """
+        self.engine.run(max_events=max_events)
+        stuck = [t for t in self.threads if t.alive]
+        if stuck:
+            detail = "; ".join(
+                f"{t.name}({t.state.value}, on={t.blocked_on!r})" for t in stuck
+            )
+            raise DeadlockError(
+                f"event queue drained with {len(stuck)} live thread(s): {detail}",
+                blocked_threads=stuck,
+            )
+
+    def post_signal(self, thread, signum):
+        """Post a signal to ``thread`` (kernel-side entry point)."""
+        if not thread.alive:
+            return
+        disposition = thread.signal_handlers.get(signum, SIG_DFL)
+        if disposition == SIG_IGN:
+            return
+        if signum in thread.signal_mask:
+            thread.pending_signals.append(signum)
+            self._emit("signal_blocked", thread)
+            return
+        self._deliver_signal(thread, signum, disposition)
+
+    def kill(self, thread):
+        """Forcefully terminate a thread (cleans up whatever it holds)."""
+        if not thread.alive:
+            return
+        self._detach_from_wait_objects(thread)
+        if thread.state is ThreadState.RUNNING:
+            if thread.is_computing:
+                self._stop_compute(thread)
+            self._vacate_cpu(thread.cpu)
+            self._core_changed(self.topology.core_of(thread.cpu))
+            self._request_resched(thread.cpu)
+        elif thread.state is ThreadState.READY:
+            self._dequeue_ready(thread)
+        if thread.gen is not None:
+            thread.gen.close()
+        thread.state = ThreadState.TERMINATED
+        self._emit("thread_exit", thread)
+
+    # ------------------------------------------------------------------
+    # readiness and dispatch
+    # ------------------------------------------------------------------
+
+    def _check_cpu(self, cpu):
+        if not 0 <= cpu < self.topology.n_cpus:
+            raise SchedulingError(f"CPU {cpu} out of range")
+
+    def _emit(self, name, thread):
+        if self.on_event is not None:
+            self.on_event(name, thread, self.engine.now)
+
+    def _vacate_cpu(self, cpu):
+        """Mark a CPU free of simulated threads (background resumes)."""
+        self.current[cpu] = None
+        self.background_resume_time[cpu] = self.engine.now
+
+    def _make_ready(self, thread, at_head=False):
+        if not thread.alive:
+            return
+        thread.state = ThreadState.READY
+        thread.blocked_on = None
+        if thread.policy is SchedPolicy.FIFO:
+            self.runqueues[thread.cpu].enqueue(
+                thread, thread.priority, at_head=at_head
+            )
+        else:
+            queue = self.other_queues[thread.cpu]
+            if at_head:
+                queue.appendleft(thread)
+            else:
+                queue.append(thread)
+        self._emit("ready", thread)
+        self._request_resched(thread.cpu)
+
+    def _dequeue_ready(self, thread):
+        if thread.policy is SchedPolicy.FIFO:
+            self.runqueues[thread.cpu].dequeue(thread, thread.priority)
+        else:
+            self.other_queues[thread.cpu].remove(thread)
+
+    def _request_resched(self, cpu):
+        if self._resched_pending[cpu]:
+            return
+        self._resched_pending[cpu] = True
+        self.engine.schedule_at(
+            self.engine.now,
+            partial(self._do_schedule, cpu),
+            priority=_RESCHED_EVENT_PRIO,
+        )
+
+    def _next_ready_priority(self, cpu):
+        prio = self.runqueues[cpu].highest_priority()
+        if prio is not None:
+            return prio
+        if self.other_queues[cpu]:
+            return 0
+        return None
+
+    def _do_schedule(self, cpu):
+        self._resched_pending[cpu] = False
+        current = self.current[cpu]
+        top = self._next_ready_priority(cpu)
+        if current is None:
+            if top is not None:
+                self._dispatch(cpu)
+            return
+        if top is not None and top > current.effective_priority():
+            self._preempt(cpu)
+            self._dispatch(cpu)
+
+    def _preempt(self, cpu):
+        thread = self.current[cpu]
+        if thread.is_computing:
+            self._stop_compute(thread)
+        thread.state = ThreadState.READY
+        thread.preemptions += 1
+        self._vacate_cpu(cpu)
+        if thread.policy is SchedPolicy.FIFO:
+            # SCHED_FIFO: a preempted thread returns to the *head* of its
+            # priority level so it resumes before equal-priority peers.
+            self.runqueues[cpu].enqueue(thread, thread.priority, at_head=True)
+        else:
+            self.other_queues[cpu].appendleft(thread)
+        self._core_changed(self.topology.core_of(cpu))
+        self._emit("preempt", thread)
+
+    def _dispatch(self, cpu):
+        runqueue = self.runqueues[cpu]
+        if runqueue:
+            thread, _prio = runqueue.pop()
+        elif self.other_queues[cpu]:
+            thread = self.other_queues[cpu].popleft()
+        else:
+            return
+        thread.state = ThreadState.RUNNING
+        self.current[cpu] = thread
+        thread.dispatches += 1
+        switch_cost = self.cost_model.context_switch(
+            cpu, self._last_running[cpu], thread, self
+        )
+        self._last_running[cpu] = thread
+        self._core_changed(self.topology.core_of(cpu))
+        self._emit("dispatch", thread)
+        if switch_cost > 0:
+            thread.latency_remaining += switch_cost
+        if thread.has_pending_execution:
+            self._start_compute(thread)
+        else:
+            self._resume(thread)
+
+    # ------------------------------------------------------------------
+    # compute / SMT rate sharing
+    # ------------------------------------------------------------------
+
+    def _charge(self, thread):
+        now = self.engine.now
+        elapsed = now - thread.last_charge
+        if elapsed > 0:
+            # latency burns first, at wall rate (SMT-immune)
+            latency_spent = min(elapsed, thread.latency_remaining)
+            thread.latency_remaining -= latency_spent
+            remainder = elapsed - latency_spent
+            if remainder > 0 and thread.rate > 0:
+                thread.work_remaining = max(
+                    0.0, thread.work_remaining - remainder * thread.rate
+                )
+            thread.cpu_time += elapsed
+        thread.last_charge = now
+
+    def _start_compute(self, thread):
+        core = self.topology.core_of(thread.cpu)
+        computing = self._core_computing[core.core_id]
+        thread.last_charge = self.engine.now
+        computing.add(thread)
+        self._recompute_core(core)
+
+    def _stop_compute(self, thread):
+        if thread.completion_event is not None:
+            self.engine.cancel(thread.completion_event)
+            thread.completion_event = None
+        self._charge(thread)
+        thread.rate = 0.0
+        core = self.topology.core_of(thread.cpu)
+        self._core_computing[core.core_id].discard(thread)
+        self._recompute_core(core)
+
+    def _core_changed(self, core):
+        """Occupancy (running / background-visible) changed on ``core``."""
+        if self._core_computing[core.core_id]:
+            self._recompute_core(core)
+
+    def _background_count(self, core):
+        count = 0
+        for hw_thread in core.hw_threads:
+            if hw_thread.background_busy and self.current[hw_thread.cpu_id] is None:
+                count += 1
+        return count
+
+    def _recompute_core(self, core):
+        computing = self._core_computing[core.core_id]
+        if not computing:
+            return
+        now = self.engine.now
+        rate = core.rate_for(len(computing), self._background_count(core))
+        for thread in sorted(computing, key=lambda t: t.tid):
+            self._charge(thread)
+            thread.rate = rate
+            if thread.completion_event is not None:
+                self.engine.cancel(thread.completion_event)
+            finish = (now + thread.latency_remaining
+                      + thread.work_remaining / rate)
+            thread.completion_event = self.engine.schedule_at(
+                finish, partial(self._complete_work, thread)
+            )
+
+    def _complete_work(self, thread):
+        thread.completion_event = None
+        self._charge(thread)
+        thread.work_remaining = 0.0
+        thread.latency_remaining = 0.0
+        thread.rate = 0.0
+        core = self.topology.core_of(thread.cpu)
+        self._core_computing[core.core_id].discard(thread)
+        self._recompute_core(core)
+        self._resume(thread)
+
+    # ------------------------------------------------------------------
+    # the resume loop
+    # ------------------------------------------------------------------
+
+    def _resume(self, thread):
+        """Advance a RUNNING thread's coroutine until it blocks/computes."""
+        steps = 0
+        while (
+            thread.state is ThreadState.RUNNING
+            and self.current[thread.cpu] is thread
+        ):
+            self._deliver_pending(thread)
+            if thread.has_pending_execution:
+                self._start_compute(thread)
+                return
+            steps += 1
+            if steps > _MAX_SYNC_STEPS:
+                raise SyscallError(
+                    f"{thread.name!r} issued {_MAX_SYNC_STEPS} zero-cost "
+                    f"syscalls without consuming time (runaway loop?)"
+                )
+            try:
+                if thread.resume_exception is not None:
+                    exc = thread.resume_exception
+                    thread.resume_exception = None
+                    thread.resume_value = None
+                    request = thread.gen.throw(exc)
+                else:
+                    value = thread.resume_value
+                    thread.resume_value = None
+                    request = thread.gen.send(value)
+            except StopIteration:
+                self._exit_thread(thread)
+                return
+            except SignalUnwind:
+                # The unwind escaped the whole thread body: the thread dies
+                # (a longjmp past main); treat as a clean exit for tests.
+                self._exit_thread(thread)
+                return
+            if not self._handle_syscall(thread, request):
+                return
+
+    def _exit_thread(self, thread):
+        cpu = thread.cpu
+        thread.state = ThreadState.TERMINATED
+        if self.current[cpu] is thread:
+            self._vacate_cpu(cpu)
+        self._detach_from_wait_objects(thread)
+        self._core_changed(self.topology.core_of(cpu))
+        self._request_resched(cpu)
+        self._emit("thread_exit", thread)
+
+    def _block(self, thread, blocked_on):
+        cpu = thread.cpu
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_on = blocked_on
+        if self.current[cpu] is thread:
+            self._vacate_cpu(cpu)
+        self._core_changed(self.topology.core_of(cpu))
+        self._request_resched(cpu)
+        self._emit("block", thread)
+
+    def _charge_syscall_cost(self, thread, cost, result=None):
+        """Finish a syscall whose effect is done but that costs time."""
+        thread.resume_value = result
+        if cost > 0:
+            thread.latency_remaining += cost
+            self._start_compute(thread)
+            return False  # loop exits; completion event resumes
+        return self._still_running(thread)
+
+    def _still_running(self, thread):
+        return (
+            thread.state is ThreadState.RUNNING
+            and self.current[thread.cpu] is thread
+        )
+
+    # ------------------------------------------------------------------
+    # syscall processing
+    # ------------------------------------------------------------------
+
+    def _handle_syscall(self, thread, request):
+        """Apply ``request``.  Returns True iff the resume loop continues."""
+        if isinstance(request, Compute):
+            thread.work_remaining += request.work
+            if thread.has_pending_execution:
+                thread.resume_value = None
+                self._start_compute(thread)
+                return False
+            thread.resume_value = None
+            return self._still_running(thread)
+
+        base_cost = self.cost_model.syscall(request, thread, self)
+
+        if isinstance(request, GetTime):
+            return self._charge_syscall_cost(thread, base_cost, self.engine.now)
+
+        if isinstance(request, GetCpu):
+            return self._charge_syscall_cost(thread, base_cost, thread.cpu)
+
+        if isinstance(request, ClockNanosleep):
+            return self._sys_clock_nanosleep(thread, request, base_cost)
+
+        if isinstance(request, CondWait):
+            return self._sys_cond_wait(thread, request)
+
+        if isinstance(request, CondSignal):
+            return self._sys_cond_signal(thread, request, base_cost)
+
+        if isinstance(request, CondBroadcast):
+            return self._sys_cond_broadcast(thread, request, base_cost)
+
+        if isinstance(request, MutexLock):
+            return self._sys_mutex_lock(thread, request, base_cost)
+
+        if isinstance(request, MutexUnlock):
+            return self._sys_mutex_unlock(thread, request, base_cost)
+
+        if isinstance(request, TimerSettime):
+            return self._sys_timer_settime(thread, request, base_cost)
+
+        if isinstance(request, Sigaction):
+            thread.signal_handlers[request.signum] = request.disposition
+            return self._charge_syscall_cost(thread, base_cost)
+
+        if isinstance(request, SetSignalMask):
+            return self._sys_set_signal_mask(thread, request, base_cost)
+
+        if isinstance(request, SchedSetScheduler):
+            return self._sys_setscheduler(thread, request, base_cost)
+
+        if isinstance(request, SchedSetAffinity):
+            return self._sys_setaffinity(thread, request, base_cost)
+
+        if isinstance(request, SchedYield):
+            return self._sys_sched_yield(thread, base_cost)
+
+        if isinstance(request, Spawn):
+            self.spawn(request.thread)
+            return self._charge_syscall_cost(thread, base_cost, request.thread)
+
+        if isinstance(request, Exit):
+            self._exit_thread(thread)
+            return False
+
+        raise SyscallError(
+            f"{thread.name!r} yielded unsupported request {request!r}"
+        )
+
+    def _sys_clock_nanosleep(self, thread, request, cost):
+        if request.until <= self.engine.now:
+            return self._charge_syscall_cost(thread, cost)
+        thread.resume_value = None
+        self._block(thread, ("sleep", request.until))
+        thread.sleep_event = self.engine.schedule_at(
+            request.until, partial(self._sleep_expire, thread)
+        )
+        return False
+
+    def _sleep_expire(self, thread):
+        thread.sleep_event = None
+        if thread.state is not ThreadState.BLOCKED:
+            return
+        self._emit("sleep_expire", thread)
+        latency = self.cost_model.wakeup_latency(thread, self, kind="sleep")
+        if latency > 0:
+            self.engine.schedule_after(latency, partial(self._make_ready, thread))
+        else:
+            self._make_ready(thread)
+
+    def _sys_cond_wait(self, thread, request):
+        mutex = request.mutex
+        if mutex.owner is not thread:
+            raise SyscallError(
+                f"{thread.name!r} called cond_wait on {request.cond.name} "
+                f"without holding {mutex.name}"
+            )
+        self._mutex_release(thread, mutex)
+        request.cond.waiters.append((thread, mutex))
+        self._block(thread, request.cond)
+        return False
+
+    def _wake_cond_waiter(self, cond):
+        """Pop and wake one waiter of ``cond``; returns it or None."""
+        if not cond.waiters:
+            return None
+        woken, mutex = cond.waiters.popleft()
+        # The waiter must re-acquire the mutex before cond_wait returns.
+        if mutex.owner is None:
+            self._mutex_acquire(woken, mutex, contended=False)
+            self._wake_after_latency(woken)
+        else:
+            mutex.waiters.append(woken)
+            woken.blocked_on = mutex
+        return woken
+
+    def _sys_cond_signal(self, thread, request, base_cost):
+        woken = self._wake_cond_waiter(request.cond)
+        cost = base_cost + self.cost_model.cond_signal(thread, woken, self)
+        self._emit("cond_signal", thread)
+        return self._charge_syscall_cost(thread, cost, 1 if woken else 0)
+
+    def _sys_cond_broadcast(self, thread, request, base_cost):
+        count = 0
+        cost = base_cost
+        while request.cond.waiters:
+            woken = self._wake_cond_waiter(request.cond)
+            cost += self.cost_model.cond_signal(thread, woken, self)
+            count += 1
+        self._emit("cond_broadcast", thread)
+        return self._charge_syscall_cost(thread, cost, count)
+
+    def _wake_after_latency(self, thread):
+        latency = self.cost_model.wakeup_latency(thread, self, kind="sync")
+        if latency > 0:
+            self.engine.schedule_after(latency, partial(self._make_ready, thread))
+        else:
+            self._make_ready(thread)
+
+    def _mutex_acquire(self, thread, mutex, contended):
+        mutex.owner = thread
+        handoff = self.cost_model.mutex_handoff(
+            mutex, mutex.last_owner_cpu, thread.cpu, contended, self
+        )
+        if handoff > 0:
+            # Cache-line transfer: charged to the acquirer as latency the
+            # next time it runs.
+            thread.latency_remaining += handoff
+
+    def _mutex_release(self, thread, mutex):
+        mutex.last_owner_cpu = thread.cpu
+        if mutex.boosted_from is not None:
+            # PTHREAD_PRIO_INHERIT: drop back to the pre-boost priority.
+            thread.priority = mutex.boosted_from
+            mutex.boosted_from = None
+            if thread.state is ThreadState.RUNNING:
+                self._request_resched(thread.cpu)
+        if mutex.waiters:
+            next_owner = mutex.waiters.popleft()
+            self._mutex_acquire(next_owner, mutex, contended=True)
+            self._wake_after_latency(next_owner)
+        else:
+            mutex.owner = None
+
+    def _boost_owner(self, mutex, waiter):
+        """Priority inheritance: raise the owner to the waiter's level."""
+        owner = mutex.owner
+        if owner is None or owner.policy is not SchedPolicy.FIFO:
+            return
+        if waiter.priority <= owner.priority:
+            return
+        if mutex.boosted_from is None:
+            mutex.boosted_from = owner.priority
+        if owner.state is ThreadState.READY:
+            self.runqueues[owner.cpu].dequeue(owner, owner.priority)
+            owner.priority = waiter.priority
+            self.runqueues[owner.cpu].enqueue(owner, owner.priority)
+            self._request_resched(owner.cpu)
+        else:
+            owner.priority = waiter.priority
+
+    def _sys_mutex_lock(self, thread, request, cost):
+        mutex = request.mutex
+        if mutex.owner is None:
+            self._mutex_acquire(thread, mutex, contended=False)
+            return self._charge_syscall_cost(thread, cost)
+        if mutex.owner is thread:
+            raise SyscallError(
+                f"{thread.name!r} relocking non-recursive {mutex.name}"
+            )
+        if mutex.protocol == "inherit":
+            self._boost_owner(mutex, thread)
+        thread.resume_value = None
+        mutex.waiters.append(thread)
+        self._block(thread, mutex)
+        return False
+
+    def _sys_mutex_unlock(self, thread, request, cost):
+        mutex = request.mutex
+        if mutex.owner is not thread:
+            raise SyscallError(
+                f"{thread.name!r} unlocking {mutex.name} it does not own"
+            )
+        self._mutex_release(thread, mutex)
+        return self._charge_syscall_cost(thread, cost)
+
+    def _sys_timer_settime(self, thread, request, cost):
+        timer = request.timer
+        if timer.deleted:
+            raise SyscallError(f"timer_settime on deleted {timer.name}")
+        if timer.event is not None:
+            self.engine.cancel(timer.event)
+            timer.event = None
+            timer.expires_at = None
+        if request.at is not None:
+            expires = max(request.at, self.engine.now)
+            timer.expires_at = expires
+            timer.event = self.engine.schedule_at(
+                expires, partial(self._timer_expire, timer)
+            )
+        return self._charge_syscall_cost(thread, cost)
+
+    def _timer_expire(self, timer):
+        timer.event = None
+        timer.expires_at = None
+        timer.expirations += 1
+        self._emit("timer_expire", timer.owner)
+        self.post_signal(timer.owner, timer.signum)
+
+    def _sys_set_signal_mask(self, thread, request, cost):
+        thread.signal_mask = set(request.mask)
+        # Unblocking may make queued signals deliverable; the resume loop's
+        # _deliver_pending picks them up on the next iteration.
+        return self._charge_syscall_cost(thread, cost)
+
+    def _sys_setscheduler(self, thread, request, cost):
+        thread.policy = request.policy
+        if request.policy is SchedPolicy.FIFO:
+            from repro.simkernel.runqueue import MAX_RT_PRIO, MIN_RT_PRIO
+
+            if not MIN_RT_PRIO <= request.priority <= MAX_RT_PRIO:
+                raise SchedulingError(
+                    f"priority {request.priority} outside FIFO range"
+                )
+            thread.priority = request.priority
+        self._request_resched(thread.cpu)
+        return self._charge_syscall_cost(thread, cost)
+
+    def _sys_setaffinity(self, thread, request, cost):
+        target = request.thread if request.thread is not None else thread
+        self._check_cpu(request.cpu)
+        old_cpu = target.cpu
+        if old_cpu == request.cpu:
+            return self._charge_syscall_cost(thread, cost)
+        if target.state is ThreadState.READY:
+            self._dequeue_ready(target)
+            target.cpu = request.cpu
+            self._make_ready(target)
+        elif target.state is ThreadState.RUNNING and target is thread:
+            # Migrating self: leave the CPU and requeue on the new one.
+            thread.resume_value = None
+            if cost > 0:
+                thread.latency_remaining += cost
+            self._vacate_cpu(old_cpu)
+            target.cpu = request.cpu
+            self._core_changed(self.topology.core_of(old_cpu))
+            self._request_resched(old_cpu)
+            self._make_ready(target)
+            return False
+        else:
+            # NEW / BLOCKED / RUNNING-elsewhere: takes effect at next wake.
+            target.cpu = request.cpu
+        return self._charge_syscall_cost(thread, cost)
+
+    def _sys_sched_yield(self, thread, cost):
+        cpu = thread.cpu
+        thread.resume_value = None
+        if cost > 0:
+            thread.latency_remaining += cost
+        thread.state = ThreadState.READY
+        self._vacate_cpu(cpu)
+        if thread.policy is SchedPolicy.FIFO:
+            self.runqueues[cpu].enqueue(thread, thread.priority, at_head=False)
+        else:
+            self.other_queues[cpu].append(thread)
+        self._core_changed(self.topology.core_of(cpu))
+        self._request_resched(cpu)
+        return False
+
+    # ------------------------------------------------------------------
+    # signal delivery
+    # ------------------------------------------------------------------
+
+    def _deliver_pending(self, thread):
+        if not thread.pending_signals:
+            return
+        deliverable = [
+            s for s in thread.pending_signals if s not in thread.signal_mask
+        ]
+        if not deliverable:
+            return
+        signum = deliverable[0]
+        thread.pending_signals.remove(signum)
+        disposition = thread.signal_handlers.get(signum, SIG_DFL)
+        if disposition == SIG_IGN:
+            return
+        self._deliver_signal(thread, signum, disposition)
+
+    def _deliver_signal(self, thread, signum, disposition):
+        if disposition == SIG_DFL:
+            raise SyscallError(
+                f"signal {signum} with default disposition delivered to "
+                f"{thread.name!r} (install a handler or SIG_IGN)"
+            )
+        if isinstance(disposition, CallbackDisposition):
+            disposition.callback(thread, self.engine.now)
+            return
+        if not isinstance(disposition, UnwindDisposition):
+            raise SyscallError(f"unknown disposition {disposition!r}")
+
+        self._emit("signal_deliver", thread)
+        if disposition.on_deliver is not None:
+            disposition.on_deliver(thread, self.engine.now)
+
+        handler_cost = self.cost_model.timer_handler(thread, self)
+        unwind_cost = self.cost_model.unwind(thread, self)
+        cost = handler_cost + unwind_cost
+
+        # POSIX blocks the signal while its handler runs; siglongjmp with a
+        # saved mask restores it, a plain try/catch unwind does not
+        # (Table I: the next job's timer interrupt then never arrives).
+        thread.signal_mask.add(signum)
+        if disposition.restore_mask:
+            thread.signal_mask.discard(signum)
+
+        exception = SignalUnwind(signum, disposition.restore_mask)
+
+        if thread.state is ThreadState.RUNNING and thread.is_computing:
+            # Interrupt the compute: remaining optional work is abandoned
+            # (the longjmp never returns to it); only handler+unwind cost
+            # remains to execute before the exception surfaces.
+            self.engine.cancel(thread.completion_event)
+            thread.completion_event = None
+            self._charge(thread)
+            thread.work_remaining = 0.0
+            thread.latency_remaining = cost
+            thread.resume_exception = exception
+            core = self.topology.core_of(thread.cpu)
+            self._recompute_core(core)
+            return
+
+        thread.resume_exception = exception
+        thread.work_remaining = 0.0
+        thread.latency_remaining = cost
+
+        if thread.state is ThreadState.RUNNING:
+            # Mid-resume-loop: the loop notices resume_exception next turn.
+            return
+        if thread.state is ThreadState.BLOCKED:
+            self._detach_from_wait_objects(thread)
+            self._make_ready(thread)
+        # READY: fields are set; delivery completes at next dispatch.
+
+    def _detach_from_wait_objects(self, thread):
+        """Remove a thread from whatever queue it is blocked on."""
+        blocked_on = thread.blocked_on
+        if blocked_on is None:
+            return
+        if isinstance(blocked_on, tuple) and blocked_on[0] == "sleep":
+            if thread.sleep_event is not None:
+                self.engine.cancel(thread.sleep_event)
+                thread.sleep_event = None
+        elif hasattr(blocked_on, "waiters"):
+            waiters = blocked_on.waiters
+            for entry in list(waiters):
+                target = entry[0] if isinstance(entry, tuple) else entry
+                if target is thread:
+                    waiters.remove(entry)
+                    break
+        thread.blocked_on = None

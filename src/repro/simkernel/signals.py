@@ -1,0 +1,58 @@
+"""Signals: numbers, dispositions, and the termination unwind.
+
+The interesting disposition is :class:`UnwindDisposition`, which models the
+paper's Figure 7 ``timer_handler``: on delivery the kernel charges the
+handler cost, blocks the signal (as POSIX does while a handler runs), and
+throws :class:`~repro.simkernel.errors.SignalUnwind` into the thread's
+coroutine — the ``siglongjmp`` back to the ``sigsetjmp`` point.  Whether
+the unwind *restores the saved signal mask* is the distinction Table I
+draws between ``sigsetjmp``/``siglongjmp`` and C++ ``try``/``catch``
+termination, so it is a parameter here.
+"""
+
+# Signal numbers (matching Linux where it aids readability).
+SIGALRM = 14
+SIGTERM = 15
+SIGUSR1 = 10
+
+#: Default disposition sentinel (delivery is an error in this simulation —
+#: nothing here should die to an unhandled signal silently).
+SIG_DFL = "SIG_DFL"
+
+#: Ignore sentinel.
+SIG_IGN = "SIG_IGN"
+
+
+class UnwindDisposition:
+    """Terminate-by-unwinding handler (``siglongjmp`` analog).
+
+    :param restore_mask: restore the signal mask saved at the
+        ``sigsetjmp`` point (True for ``sigsetjmp(..., savemask)``;
+        False models C++ ``try``/``catch``, which leaves the signal
+        blocked so the *next* job's timer never fires — Table I).
+    :param on_deliver: optional callback ``(thread, now)`` invoked at
+        delivery, before the unwind (used by the harness to timestamp
+        terminations).
+    """
+
+    def __init__(self, restore_mask=True, on_deliver=None):
+        self.restore_mask = restore_mask
+        self.on_deliver = on_deliver
+
+    def __repr__(self):
+        return f"UnwindDisposition(restore_mask={self.restore_mask})"
+
+
+class CallbackDisposition:
+    """Run a kernel-side callback on delivery; the thread is not unwound.
+
+    Used for bookkeeping signals (e.g. a periodic-check strategy that only
+    needs a flag flipped).  The callback runs with signature
+    ``(thread, now)``.
+    """
+
+    def __init__(self, callback):
+        self.callback = callback
+
+    def __repr__(self):
+        return f"CallbackDisposition({self.callback!r})"

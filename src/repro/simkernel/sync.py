@@ -1,0 +1,69 @@
+"""Mutexes and condition variables with POSIX (Mesa) semantics.
+
+These objects hold no logic of their own beyond waiter bookkeeping — the
+kernel performs the state transitions.  Waiters queue FIFO, matching the
+glibc behaviour the paper's middleware relies on when the mandatory thread
+signals each parallel optional thread individually.
+"""
+
+from collections import deque
+
+
+class Mutex:
+    """A simulated ``pthread_mutex_t``.
+
+    ``owner`` is the :class:`~repro.simkernel.thread.KernelThread` holding
+    the lock; ``waiters`` queue FIFO.  The lock-transfer bookkeeping
+    (``last_owner_cpu``) lets the cost model price cross-core lock handoffs
+    — the mechanism behind the paper's Figure 13 policy ordering, where
+    one-by-one placement bounces the task lock between cores on every
+    optional-part epilogue.
+
+    :param protocol: ``"none"`` (default) or ``"inherit"`` —
+        ``PTHREAD_PRIO_INHERIT``: while a higher-priority thread waits,
+        the owner runs at the waiter's priority, bounding priority
+        inversion.  RT-Seed itself never needs it (optional parts are
+        forbidden from taking locks, and the task-wide locks are only
+        shared between equal-priority threads), but a middleware
+        substrate should offer it.
+    """
+
+    _next_id = 1
+
+    def __init__(self, name=None, protocol="none"):
+        if protocol not in ("none", "inherit"):
+            raise ValueError(f"unknown mutex protocol {protocol!r}")
+        self.mid = Mutex._next_id
+        Mutex._next_id += 1
+        self.name = name or f"mutex-{self.mid}"
+        self.protocol = protocol
+        self.owner = None
+        self.waiters = deque()
+        #: CPU on which the previous holder ran when it released the lock.
+        self.last_owner_cpu = None
+        #: owner's original priority while boosted (inherit protocol).
+        self.boosted_from = None
+
+    @property
+    def locked(self):
+        return self.owner is not None
+
+    def __repr__(self):
+        owner = self.owner.name if self.owner else None
+        return f"<Mutex {self.name} owner={owner} waiters={len(self.waiters)}>"
+
+
+class CondVar:
+    """A simulated ``pthread_cond_t`` with FIFO waiters."""
+
+    _next_id = 1
+
+    def __init__(self, name=None):
+        self.cid = CondVar._next_id
+        CondVar._next_id += 1
+        self.name = name or f"cond-{self.cid}"
+        #: FIFO of (thread, mutex) tuples blocked in CondWait.
+        self.waiters = deque()
+
+    def __repr__(self):
+        return f"<CondVar {self.name} waiters={len(self.waiters)}>"

@@ -1,0 +1,43 @@
+"""POSIX one-shot timers (``timer_create`` / ``timer_settime``).
+
+RT-Seed arms one optional-deadline timer per parallel optional thread
+(Figure 7): a one-shot ``CLOCK_REALTIME`` timer whose expiry posts
+``SIGALRM`` to the owning thread.  ``timer_settime`` with a zero value
+disarms it (the "stop_itval" call after the optional part completes).
+"""
+
+from repro.simkernel.signals import SIGALRM
+
+
+class KTimer:
+    """A one-shot timer owned by a thread.
+
+    :param owner: thread that receives ``signum`` on expiry.
+    :param signum: signal posted at expiry (default ``SIGALRM``).
+    :param name: diagnostic label.
+    """
+
+    _next_id = 1
+
+    def __init__(self, owner, signum=SIGALRM, name=None):
+        self.timer_id = KTimer._next_id
+        KTimer._next_id += 1
+        self.owner = owner
+        self.signum = signum
+        self.name = name or f"timer-{self.timer_id}"
+        #: pending engine event while armed, else None.
+        self.event = None
+        #: absolute expiry time while armed, else None.
+        self.expires_at = None
+        #: count of expirations (diagnostics).
+        self.expirations = 0
+        #: True once deleted; further operations raise.
+        self.deleted = False
+
+    @property
+    def armed(self):
+        return self.event is not None
+
+    def __repr__(self):
+        state = f"armed@{self.expires_at:.0f}" if self.armed else "disarmed"
+        return f"<KTimer {self.name} owner={self.owner.name} {state}>"

@@ -1,0 +1,84 @@
+"""Real-time trading substrate (the paper's motivating application).
+
+Section II-A sketches the application RT-Seed targets: the mandatory
+part obtains exchange data (e.g. EUR/USD) from a trading company, the
+parallel optional parts run technical analysis (e.g. Bollinger Bands)
+and/or fundamental analysis (e.g. GDP) to improve the quality of the
+trading decision, and the wind-up part collects the results and sends a
+trade request (bid / ask) or takes a wait-and-see attitude.
+
+* :mod:`repro.trading.feed` — EUR/USD market data simulator (the paper's
+  OANDA feed provides one rate per second, hence T = 1 s).
+* :mod:`repro.trading.indicators` — classic technical indicators plus
+  *anytime* analyzers whose estimates refine monotonically with optional
+  execution time.
+* :mod:`repro.trading.fundamental` — synthetic macro series and an
+  anytime Monte-Carlo fundamental analyzer.
+* :mod:`repro.trading.strategy` — decision aggregation in the wind-up
+  part (weighted vote over whatever the optional parts published).
+* :mod:`repro.trading.broker` — order execution, account, and P&L.
+* :mod:`repro.trading.system` — the RT-Seed task and end-to-end system.
+"""
+
+from repro.trading.broker import Account, Order, OrderSide, SimBroker
+from repro.trading.feed import HistoricalFeed, MarketFeed, Tick
+from repro.trading.fundamental import (
+    FundamentalAnalyzer,
+    MacroSeries,
+    synthetic_macro,
+)
+from repro.trading.backtest import Backtester, BacktestReport
+from repro.trading.indicators import (
+    AnytimeBollinger,
+    AnytimeMACD,
+    AnytimeMomentum,
+    AnytimeRSI,
+    AnytimeStochastic,
+    average_true_range,
+    bollinger_bands,
+    ema,
+    macd,
+    rsi,
+    sma,
+    stochastic_oscillator,
+)
+from repro.trading.network import NetworkModel
+from repro.trading.risk import RiskDecision, RiskManager, RiskVerdict
+from repro.trading.strategy import Decision, DecisionKind, WeightedVote
+from repro.trading.system import RealTimeTradingSystem, TradingTask
+
+__all__ = [
+    "Account",
+    "Order",
+    "OrderSide",
+    "SimBroker",
+    "HistoricalFeed",
+    "MarketFeed",
+    "Tick",
+    "FundamentalAnalyzer",
+    "MacroSeries",
+    "synthetic_macro",
+    "Backtester",
+    "BacktestReport",
+    "AnytimeBollinger",
+    "AnytimeMACD",
+    "AnytimeMomentum",
+    "AnytimeRSI",
+    "AnytimeStochastic",
+    "average_true_range",
+    "bollinger_bands",
+    "ema",
+    "macd",
+    "rsi",
+    "sma",
+    "stochastic_oscillator",
+    "NetworkModel",
+    "RiskDecision",
+    "RiskManager",
+    "RiskVerdict",
+    "Decision",
+    "DecisionKind",
+    "WeightedVote",
+    "RealTimeTradingSystem",
+    "TradingTask",
+]

@@ -1,0 +1,151 @@
+"""Offline backtesting of decision strategies.
+
+The paper's future work plans "real-time trading experiments ... in the
+demo/practice accounts of the OANDA Japan trading company"; a serious
+trading system prototypes its strategies offline first.  The
+:class:`Backtester` runs the same analyzer panel + decision strategy the
+real-time system uses, but without the middleware: every analyzer gets
+its *full* refinement budget per tick, which gives the upper bound on
+decision quality that the imprecise execution degrades from.
+"""
+
+import math
+
+from repro.trading.broker import OrderSide, SimBroker
+from repro.trading.strategy import DecisionKind, WeightedVote
+
+
+class BacktestReport:
+    """Metrics of a backtest run."""
+
+    def __init__(self, decisions, broker, equity_curve):
+        self.decisions = decisions
+        self.broker = broker
+        self.equity_curve = equity_curve
+
+    @property
+    def n_trades(self):
+        return self.broker.trade_count
+
+    @property
+    def final_equity(self):
+        return self.equity_curve[-1] if self.equity_curve else None
+
+    @property
+    def total_return(self):
+        if not self.equity_curve:
+            return 0.0
+        start = self.equity_curve[0]
+        return (self.equity_curve[-1] - start) / start
+
+    @property
+    def max_drawdown(self):
+        """Largest peak-to-trough equity decline, as a fraction."""
+        peak = float("-inf")
+        worst = 0.0
+        for value in self.equity_curve:
+            peak = max(peak, value)
+            if peak > 0:
+                worst = max(worst, (peak - value) / peak)
+        return worst
+
+    @property
+    def sharpe(self):
+        """Per-tick Sharpe ratio (mean/std of equity returns); 0 when
+        undefined."""
+        if len(self.equity_curve) < 3:
+            return 0.0
+        returns = [
+            (b - a) / a
+            for a, b in zip(self.equity_curve, self.equity_curve[1:])
+            if a > 0
+        ]
+        if not returns:
+            return 0.0
+        mean = sum(returns) / len(returns)
+        variance = sum((r - mean) ** 2 for r in returns) / len(returns)
+        if variance == 0:
+            return 0.0
+        return mean / math.sqrt(variance)
+
+    @property
+    def decision_counts(self):
+        counts = {kind: 0 for kind in DecisionKind}
+        for _tick, decision in self.decisions:
+            counts[decision.kind] += 1
+        return counts
+
+    def summary(self):
+        counts = self.decision_counts
+        return {
+            "ticks": len(self.decisions),
+            "trades": self.n_trades,
+            "bids": counts[DecisionKind.BID],
+            "asks": counts[DecisionKind.ASK],
+            "waits": counts[DecisionKind.WAIT],
+            "final_equity": self.final_equity,
+            "total_return": self.total_return,
+            "max_drawdown": self.max_drawdown,
+            "sharpe": self.sharpe,
+        }
+
+
+class Backtester:
+    """Run analyzers + strategy over a feed, tick by tick.
+
+    :param feed: a :class:`~repro.trading.feed.MarketFeed` or
+        :class:`~repro.trading.feed.HistoricalFeed`.
+    :param analyzers: anytime analyzers (run to completion here).
+    :param strategy: decision aggregator.
+    :param history_length: lookback handed to the analyzers.
+    :param order_units: trade size.
+    """
+
+    def __init__(self, feed, analyzers, strategy=None, history_length=120,
+                 order_units=1_000.0, balance=10_000.0):
+        if not analyzers:
+            raise ValueError("need at least one analyzer")
+        self.feed = feed
+        self.analyzers = list(analyzers)
+        self.strategy = strategy or WeightedVote()
+        self.history_length = history_length
+        self.order_units = order_units
+        self.balance = balance
+
+    def _full_estimate(self, analyzer, history, tick_index):
+        if hasattr(analyzer, "tick_index"):
+            analyzer.tick_index = tick_index
+        state = analyzer.start(history)
+        estimate = None
+        while not state.done:
+            estimate = analyzer.refine(state)
+        return estimate
+
+    def run(self, start_tick, n_ticks):
+        """Backtest ``n_ticks`` starting at ``start_tick``.
+
+        :returns: a :class:`BacktestReport`.
+        """
+        if n_ticks < 1:
+            raise ValueError("need at least one tick")
+        broker = SimBroker(balance=self.balance)
+        decisions = []
+        equity_curve = []
+        for offset in range(n_ticks):
+            tick_index = start_tick + offset
+            tick = self.feed.tick(tick_index)
+            history = self.feed.history(tick_index, self.history_length)
+            estimates = [
+                self._full_estimate(analyzer, history, tick_index)
+                for analyzer in self.analyzers
+            ]
+            decision = self.strategy.decide(estimates)
+            if decision.kind is DecisionKind.BID:
+                broker.submit(tick.time, OrderSide.BUY,
+                              self.order_units, tick)
+            elif decision.kind is DecisionKind.ASK:
+                broker.submit(tick.time, OrderSide.SELL,
+                              self.order_units, tick)
+            decisions.append((tick_index, decision))
+            equity_curve.append(broker.account.equity(tick.mid))
+        return BacktestReport(decisions, broker, equity_curve)

@@ -1,0 +1,117 @@
+"""Order execution: a simulated broker with an account and P&L.
+
+Executes market orders against the feed's bid/ask (you buy at the ask,
+sell at the bid — the spread is the cost of trading), tracks a single
+net position per instrument, and realizes P&L on position reductions.
+"""
+
+import enum
+
+
+class OrderSide(enum.Enum):
+    BUY = "buy"
+    SELL = "sell"
+
+
+class Order:
+    """A filled market order."""
+
+    __slots__ = ("time", "side", "units", "price")
+
+    def __init__(self, time, side, units, price):
+        if units <= 0:
+            raise ValueError("units must be positive")
+        self.time = time
+        self.side = side
+        self.units = units
+        self.price = price
+
+    def __repr__(self):
+        return (
+            f"<Order {self.side.value} {self.units} @ {self.price:.5f} "
+            f"t={self.time:.0f}>"
+        )
+
+
+class Account:
+    """Net position + realized P&L, average-cost accounting."""
+
+    def __init__(self, balance=10_000.0):
+        self.balance = balance
+        self.position = 0.0       # signed units of the base currency
+        self.average_price = 0.0  # average entry price of the position
+        self.realized_pnl = 0.0
+
+    def apply_fill(self, side, units, price):
+        """Apply a fill; realizes P&L for the closing portion."""
+        signed = units if side is OrderSide.BUY else -units
+        if self.position == 0 or (self.position > 0) == (signed > 0):
+            # opening or extending: new average price
+            total = abs(self.position) + units
+            self.average_price = (
+                self.average_price * abs(self.position) + price * units
+            ) / total
+            self.position += signed
+            return 0.0
+        # reducing (possibly flipping) the position
+        closing = min(abs(self.position), units)
+        direction = 1.0 if self.position > 0 else -1.0
+        pnl = direction * (price - self.average_price) * closing
+        self.realized_pnl += pnl
+        self.balance += pnl
+        self.position += signed
+        if self.position == 0:
+            self.average_price = 0.0
+        elif (self.position > 0) != (direction > 0):
+            # flipped: remainder opens at the fill price
+            self.average_price = price
+        return pnl
+
+    def unrealized_pnl(self, mid_price):
+        if self.position == 0:
+            return 0.0
+        direction = 1.0 if self.position > 0 else -1.0
+        return direction * (mid_price - self.average_price) * abs(self.position)
+
+    def equity(self, mid_price):
+        return self.balance + self.unrealized_pnl(mid_price)
+
+
+class SimBroker:
+    """Fills market orders at the quoted bid/ask, with position limits.
+
+    :param max_position: absolute position cap in units.
+    """
+
+    def __init__(self, balance=10_000.0, max_position=10_000.0):
+        self.account = Account(balance)
+        self.max_position = max_position
+        self.orders = []
+        self.rejected = 0
+
+    def submit(self, time, side, units, tick):
+        """Fill a market order against ``tick``; returns the
+        :class:`Order`, or ``None`` if the position cap rejects it."""
+        signed = units if side is OrderSide.BUY else -units
+        if abs(self.account.position + signed) > self.max_position + 1e-9:
+            self.rejected += 1
+            return None
+        price = tick.ask if side is OrderSide.BUY else tick.bid
+        order = Order(time, side, units, price)
+        self.account.apply_fill(side, units, price)
+        self.orders.append(order)
+        return order
+
+    @property
+    def trade_count(self):
+        return len(self.orders)
+
+    def summary(self, last_tick):
+        """Run summary for reports."""
+        return {
+            "trades": self.trade_count,
+            "rejected": self.rejected,
+            "position": self.account.position,
+            "realized_pnl": self.account.realized_pnl,
+            "equity": self.account.equity(last_tick.mid),
+        }

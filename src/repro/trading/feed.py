@@ -1,0 +1,138 @@
+"""Market data: a simulated OANDA-style exchange-rate feed.
+
+The paper's deployment target (Section V-A): "As this company usually
+provides 1 exchange rate per second, the period of task tau1 is set to
+1 s."  The simulator produces one :class:`Tick` per second of simulated
+time from a seeded geometric-Brownian-motion mid price with a fixed
+spread — deterministic per seed, lazily generated, O(1) random access by
+tick index.
+"""
+
+import numpy as np
+
+
+class Tick:
+    """One quote: time (simulated ns), bid, ask."""
+
+    __slots__ = ("time", "bid", "ask")
+
+    def __init__(self, time, bid, ask):
+        if bid > ask:
+            raise ValueError(f"crossed quote: bid {bid} > ask {ask}")
+        self.time = time
+        self.bid = bid
+        self.ask = ask
+
+    @property
+    def mid(self):
+        return (self.bid + self.ask) / 2.0
+
+    @property
+    def spread(self):
+        return self.ask - self.bid
+
+    def __repr__(self):
+        return f"<Tick t={self.time:.0f} {self.bid:.5f}/{self.ask:.5f}>"
+
+
+class MarketFeed:
+    """Seeded GBM exchange-rate feed, one tick per ``interval``.
+
+    :param seed: randomness seed.
+    :param initial_price: starting mid price (EUR/USD-ish default).
+    :param drift: annualized drift mu.
+    :param volatility: annualized volatility sigma.
+    :param spread: fixed bid/ask spread.
+    :param interval: simulated nanoseconds between ticks (default 1 s).
+
+    Ticks are generated lazily in order and cached, so ``tick(i)`` is
+    O(1) amortized and any two feeds with the same seed agree exactly.
+    """
+
+    #: seconds per trading year, for annualized drift/volatility.
+    _SECONDS_PER_YEAR = 252 * 24 * 3600.0
+
+    def __init__(self, seed=0, initial_price=1.1000, drift=0.0,
+                 volatility=0.10, spread=0.0002,
+                 interval=1_000_000_000.0):
+        if initial_price <= 0:
+            raise ValueError("initial price must be positive")
+        if volatility < 0 or spread < 0:
+            raise ValueError("volatility and spread must be >= 0")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.seed = seed
+        self.initial_price = initial_price
+        self.drift = drift
+        self.volatility = volatility
+        self.spread = spread
+        self.interval = float(interval)
+        self._rng = np.random.default_rng(seed)
+        self._mids = [float(initial_price)]
+
+    def _extend_to(self, index):
+        dt = (self.interval / 1e9) / self._SECONDS_PER_YEAR
+        step_drift = (self.drift - 0.5 * self.volatility ** 2) * dt
+        step_vol = self.volatility * np.sqrt(dt)
+        while len(self._mids) <= index:
+            shock = self._rng.standard_normal()
+            self._mids.append(
+                self._mids[-1] * float(np.exp(step_drift + step_vol * shock))
+            )
+
+    def mid(self, index):
+        """Mid price of tick ``index`` (0-based)."""
+        if index < 0:
+            raise IndexError(f"negative tick index {index}")
+        self._extend_to(index)
+        return self._mids[index]
+
+    def tick(self, index):
+        """The full :class:`Tick` for tick ``index``."""
+        mid = self.mid(index)
+        half = self.spread / 2.0
+        return Tick(index * self.interval, mid - half, mid + half)
+
+    def history(self, index, length):
+        """Mid prices of the ``length`` ticks ending at ``index``
+        (inclusive), oldest first; truncated at the feed start."""
+        start = max(0, index - length + 1)
+        self._extend_to(index)
+        return np.array(self._mids[start:index + 1])
+
+    def index_at(self, time):
+        """Index of the most recent tick at simulated ``time``."""
+        return max(0, int(time // self.interval))
+
+
+class HistoricalFeed:
+    """A feed over explicit mid prices (for tests and replay)."""
+
+    def __init__(self, mids, spread=0.0002, interval=1_000_000_000.0):
+        mids = [float(m) for m in mids]
+        if not mids:
+            raise ValueError("need at least one price")
+        if any(m <= 0 for m in mids):
+            raise ValueError("prices must be positive")
+        self._mids = mids
+        self.spread = spread
+        self.interval = float(interval)
+
+    def __len__(self):
+        return len(self._mids)
+
+    def mid(self, index):
+        return self._mids[index]
+
+    def tick(self, index):
+        mid = self._mids[index]
+        half = self.spread / 2.0
+        return Tick(index * self.interval, mid - half, mid + half)
+
+    def history(self, index, length):
+        start = max(0, index - length + 1)
+        return np.array(self._mids[start:index + 1])
+
+    def index_at(self, time):
+        index = int(time // self.interval)
+        return min(max(index, 0), len(self._mids) - 1)

@@ -1,0 +1,65 @@
+"""Network model for the market-data fetch.
+
+The mandatory part "obtains exchange data (e.g., EUR/USD) from a stock
+company" — a network round trip, not a fixed-cost computation.  The
+:class:`NetworkModel` samples a deterministic per-job latency from a
+seeded lognormal with an occasional spike (retransmission/queueing), so
+the trading task's mandatory part varies realistically: a latency spike
+past the optional deadline exercises the *discard* path without any
+contrived configuration.
+"""
+
+import numpy as np
+
+from repro.simkernel.time_units import MSEC
+
+
+class NetworkModel:
+    """Deterministic per-job fetch latency.
+
+    :param mean: median round-trip latency (ns).
+    :param sigma: lognormal shape (0 = constant).
+    :param spike_probability: chance a request hits a spike.
+    :param spike_factor: multiplier applied during a spike.
+    :param seed: randomness seed.
+    """
+
+    def __init__(self, mean=40 * MSEC, sigma=0.25,
+                 spike_probability=0.02, spike_factor=8.0, seed=0):
+        if mean <= 0:
+            raise ValueError("mean latency must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if not 0 <= spike_probability < 1:
+            raise ValueError("spike probability must be in [0, 1)")
+        if spike_factor < 1:
+            raise ValueError("spike factor must be >= 1")
+        self.mean = float(mean)
+        self.sigma = sigma
+        self.spike_probability = spike_probability
+        self.spike_factor = spike_factor
+        self.seed = seed
+        self._cache = {}
+
+    def fetch_latency(self, job_index):
+        """Latency (ns) of job ``job_index``'s fetch — deterministic per
+        (seed, job)."""
+        if job_index < 0:
+            raise IndexError("negative job index")
+        if job_index not in self._cache:
+            rng = np.random.default_rng((self.seed, job_index))
+            latency = self.mean * float(
+                np.exp(self.sigma * rng.standard_normal())
+            )
+            if rng.random() < self.spike_probability:
+                latency *= self.spike_factor
+            self._cache[job_index] = latency
+        return self._cache[job_index]
+
+    def worst_case(self, quantile_sigma=3.0):
+        """A WCET bound for admission: spike factor on a high quantile."""
+        return (
+            self.mean
+            * float(np.exp(self.sigma * quantile_sigma))
+            * self.spike_factor
+        )

@@ -1,0 +1,109 @@
+"""Risk management for the trading system.
+
+A production trading middleware gates every order through risk checks.
+:class:`RiskManager` enforces position limits, a per-session loss stop,
+and a drawdown halt; once tripped, it vetoes all further entries (exits
+remain allowed so the system can flatten).
+"""
+
+import enum
+
+from repro.trading.broker import OrderSide
+
+
+class RiskVerdict(enum.Enum):
+    ALLOW = "allow"
+    REDUCE_ONLY = "reduce_only"
+    BLOCK = "block"
+
+
+class RiskDecision:
+    __slots__ = ("verdict", "reason")
+
+    def __init__(self, verdict, reason):
+        self.verdict = verdict
+        self.reason = reason
+
+    def __bool__(self):
+        return self.verdict is RiskVerdict.ALLOW
+
+    def __repr__(self):
+        return f"<RiskDecision {self.verdict.value}: {self.reason}>"
+
+
+class RiskManager:
+    """Pre-trade checks against an account.
+
+    :param max_position: absolute position cap in units.
+    :param max_loss: realized-loss stop (positive number; halt when
+        ``realized_pnl <= -max_loss``).
+    :param max_drawdown: equity drawdown fraction that halts trading.
+    """
+
+    def __init__(self, max_position=10_000.0, max_loss=None,
+                 max_drawdown=None):
+        if max_position <= 0:
+            raise ValueError("max position must be positive")
+        if max_loss is not None and max_loss <= 0:
+            raise ValueError("max loss must be positive")
+        if max_drawdown is not None and not 0 < max_drawdown < 1:
+            raise ValueError("max drawdown must be in (0, 1)")
+        self.max_position = max_position
+        self.max_loss = max_loss
+        self.max_drawdown = max_drawdown
+        self._equity_peak = None
+        self._halted_reason = None
+
+    @property
+    def halted(self):
+        return self._halted_reason is not None
+
+    def observe_equity(self, equity):
+        """Feed the current equity (call once per job/tick)."""
+        if self._equity_peak is None or equity > self._equity_peak:
+            self._equity_peak = equity
+        if (self.max_drawdown is not None and self._equity_peak > 0):
+            drawdown = (self._equity_peak - equity) / self._equity_peak
+            if drawdown >= self.max_drawdown and not self.halted:
+                self._halted_reason = (
+                    f"drawdown {drawdown:.1%} >= {self.max_drawdown:.1%}"
+                )
+
+    def check(self, account, side, units):
+        """Pre-trade check: returns a :class:`RiskDecision`.
+
+        Halted sessions only allow position-reducing orders.
+        """
+        if units <= 0:
+            return RiskDecision(RiskVerdict.BLOCK, "non-positive size")
+        if self.max_loss is not None and \
+                account.realized_pnl <= -self.max_loss and not self.halted:
+            self._halted_reason = (
+                f"loss stop: realized {account.realized_pnl:.2f}"
+            )
+        signed = units if side is OrderSide.BUY else -units
+        reduces = (
+            account.position != 0
+            and (account.position > 0) != (signed > 0)
+            and abs(signed) <= abs(account.position)
+        )
+        if self.halted:
+            if reduces:
+                return RiskDecision(
+                    RiskVerdict.REDUCE_ONLY,
+                    f"halted ({self._halted_reason}); reducing allowed",
+                )
+            return RiskDecision(
+                RiskVerdict.BLOCK, f"halted: {self._halted_reason}"
+            )
+        if abs(account.position + signed) > self.max_position + 1e-9:
+            return RiskDecision(
+                RiskVerdict.BLOCK,
+                f"position cap {self.max_position} exceeded",
+            )
+        return RiskDecision(RiskVerdict.ALLOW, "ok")
+
+    def reset(self):
+        """Clear the halt (a human decision, never automatic)."""
+        self._halted_reason = None
+        self._equity_peak = None

@@ -1,0 +1,78 @@
+"""Trading decisions: the wind-up part's aggregation logic.
+
+Section II-A: "the wind-up part collects the results from parallel
+optional parts to make a trading decision and sends a trade request
+(i.e., bid or ask) to the stock company or takes a wait-and-see
+attitude (i.e., no trade).  When parallel optional parts overrun, they
+are terminated and the wind-up part is executed to produce a trading
+decision with low QoS."
+
+:class:`WeightedVote` implements exactly that: it combines whatever
+estimates the optional parts managed to publish — weighting each by its
+confidence — and abstains (WAIT) when the evidence is too thin.
+"""
+
+import enum
+
+
+class DecisionKind(enum.Enum):
+    BID = "bid"    # buy the base currency
+    ASK = "ask"    # sell the base currency
+    WAIT = "wait"  # wait-and-see: no trade
+
+
+class Decision:
+    """The wind-up part's output for one job."""
+
+    __slots__ = ("kind", "score", "confidence", "n_inputs")
+
+    def __init__(self, kind, score, confidence, n_inputs):
+        self.kind = kind
+        self.score = score
+        self.confidence = confidence
+        self.n_inputs = n_inputs
+
+    def __repr__(self):
+        return (
+            f"<Decision {self.kind.value} score={self.score:+.3f} "
+            f"conf={self.confidence:.2f} inputs={self.n_inputs}>"
+        )
+
+
+class WeightedVote:
+    """Confidence-weighted vote over anytime estimates.
+
+    :param entry_threshold: |weighted score| needed to trade.
+    :param min_confidence: mean confidence needed to trade; below it the
+        decision is WAIT (the "low QoS" degradation path — with heavily
+        terminated optional parts the system trades less, not worse).
+    """
+
+    def __init__(self, entry_threshold=0.2, min_confidence=0.15):
+        if not 0 <= entry_threshold <= 1:
+            raise ValueError("entry threshold must be in [0, 1]")
+        if not 0 <= min_confidence <= 1:
+            raise ValueError("min confidence must be in [0, 1]")
+        self.entry_threshold = entry_threshold
+        self.min_confidence = min_confidence
+
+    def decide(self, estimates):
+        """Combine estimates (an iterable of
+        :class:`~repro.trading.indicators.Estimate`, or ``None`` holes
+        for discarded parts) into a :class:`Decision`."""
+        usable = [e for e in estimates if e is not None]
+        if not usable:
+            return Decision(DecisionKind.WAIT, 0.0, 0.0, 0)
+        total_weight = sum(e.confidence for e in usable)
+        if total_weight <= 0:
+            return Decision(DecisionKind.WAIT, 0.0, 0.0, len(usable))
+        score = sum(e.signal * e.confidence for e in usable) / total_weight
+        confidence = total_weight / len(usable)
+        if confidence < self.min_confidence or \
+                abs(score) < self.entry_threshold:
+            kind = DecisionKind.WAIT
+        elif score > 0:
+            kind = DecisionKind.BID
+        else:
+            kind = DecisionKind.ASK
+        return Decision(kind, score, confidence, len(usable))

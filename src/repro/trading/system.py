@@ -1,0 +1,252 @@
+"""The end-to-end real-time trading system on RT-Seed.
+
+Implements the Section II-A application exactly:
+
+* **mandatory part** — obtain the exchange rate (EUR/USD) for this
+  period from the (simulated) trading company;
+* **parallel optional parts** — one anytime analyzer each (technical
+  and/or fundamental), refining estimates until completion or the
+  optional deadline;
+* **wind-up part** — collect whatever the parts published, make a
+  trading decision (bid / ask / wait-and-see), and send it to the
+  broker.
+"""
+
+import statistics
+
+from repro.core.middleware import RTSeed
+from repro.core.task import Task
+from repro.hardware.loads import BackgroundLoad
+from repro.model.task_model import ParallelExtendedImpreciseTask
+from repro.simkernel.time_units import MSEC, SEC
+from repro.trading.broker import OrderSide, SimBroker
+from repro.trading.feed import MarketFeed
+from repro.trading.fundamental import FundamentalAnalyzer, synthetic_macro
+from repro.trading.indicators import (
+    AnytimeBollinger,
+    AnytimeMACD,
+    AnytimeMomentum,
+    AnytimeRSI,
+)
+from repro.trading.strategy import DecisionKind, WeightedVote
+
+
+def default_analyzers(seed=0):
+    """The default panel: four technical + one fundamental analyzer."""
+    return [
+        AnytimeBollinger(),
+        AnytimeRSI(),
+        AnytimeMomentum(),
+        AnytimeMACD(),
+        FundamentalAnalyzer(synthetic_macro(seed), seed=seed),
+    ]
+
+
+class TradingTask(Task):
+    """The parallel-extended imprecise trading task.
+
+    :param feed: market data source.
+    :param analyzers: one anytime analyzer per parallel optional part.
+    :param broker: order sink.
+    :param strategy: decision aggregator for the wind-up part.
+    :param history_length: ticks of history handed to the analyzers.
+    :param fetch_cost: mandatory-part compute (network fetch + parse).
+    :param decide_cost: wind-up-part compute (aggregate + order I/O).
+    :param order_units: order size for bid/ask decisions.
+    """
+
+    def __init__(self, name, feed, analyzers, broker,
+                 strategy=None, period=1 * SEC, history_length=120,
+                 fetch_cost=60 * MSEC, decide_cost=50 * MSEC,
+                 order_units=1_000.0, risk_manager=None, network=None):
+        if not analyzers:
+            raise ValueError("need at least one analyzer")
+        super().__init__(name, period, n_parallel=len(analyzers))
+        self.feed = feed
+        self.analyzers = list(analyzers)
+        self.broker = broker
+        self.strategy = strategy or WeightedVote()
+        self.history_length = history_length
+        self.fetch_cost = float(fetch_cost)
+        self.decide_cost = float(decide_cost)
+        self.order_units = order_units
+        self.risk_manager = risk_manager
+        #: optional :class:`~repro.trading.network.NetworkModel`; when
+        #: set, the mandatory part's cost is the sampled fetch latency
+        #: instead of the flat ``fetch_cost``.
+        self.network = network
+        #: (job_index, Decision, Order-or-None) per job, in order.
+        self.decisions = []
+        #: orders the risk manager vetoed: (job_index, RiskDecision).
+        self.risk_vetoes = []
+
+    def exec_mandatory(self, ctx):
+        cost = self.fetch_cost
+        if self.network is not None:
+            cost = self.network.fetch_latency(ctx.job_index)
+        yield ctx.compute(cost, tag="fetch")
+        tick_index = self.feed.index_at(ctx.release)
+        ctx.scratch["tick_index"] = tick_index
+        ctx.scratch["tick"] = self.feed.tick(tick_index)
+        ctx.scratch["history"] = self.feed.history(
+            tick_index, self.history_length
+        )
+
+    def exec_optional(self, ctx, part_index):
+        analyzer = self.analyzers[part_index]
+        if hasattr(analyzer, "tick_index"):
+            analyzer.tick_index = ctx.scratch["tick_index"]
+        state = analyzer.start(ctx.scratch["history"])
+        while not state.done:
+            yield ctx.compute(analyzer.step_cost,
+                              tag=f"analyze[{analyzer.name}]")
+            estimate = analyzer.refine(state)
+            ctx.publish(part_index, estimate)
+
+    def exec_windup(self, ctx):
+        yield ctx.compute(self.decide_cost, tag="decide")
+        estimates = [
+            ctx.collect().get(part_index)
+            for part_index in range(self.n_parallel)
+        ]
+        decision = self.strategy.decide(estimates)
+        order = None
+        tick = ctx.scratch["tick"]
+        side = None
+        if decision.kind is DecisionKind.BID:
+            side = OrderSide.BUY
+        elif decision.kind is DecisionKind.ASK:
+            side = OrderSide.SELL
+        if side is not None:
+            if self.risk_manager is not None:
+                self.risk_manager.observe_equity(
+                    self.broker.account.equity(tick.mid)
+                )
+                verdict = self.risk_manager.check(
+                    self.broker.account, side, self.order_units
+                )
+                if verdict.verdict.value == "block":
+                    self.risk_vetoes.append((ctx.job_index, verdict))
+                    side = None
+            if side is not None:
+                order = self.broker.submit(ctx.deadline, side,
+                                           self.order_units, tick)
+        self.decisions.append((ctx.job_index, decision, order))
+
+    def to_model(self):
+        """Analytic model: WCET bounds with a small margin, full optional
+        demand as the per-part refinement total."""
+        optionals = []
+        for analyzer in self.analyzers:
+            steps = len(getattr(analyzer, "windows", [])) or \
+                getattr(analyzer, "rounds", 4)
+            optionals.append(steps * analyzer.step_cost)
+        mandatory_bound = (
+            self.network.worst_case() if self.network is not None
+            else self.fetch_cost * 1.5
+        )
+        return ParallelExtendedImpreciseTask(
+            self.name,
+            mandatory_bound,
+            optionals,
+            self.decide_cost * 1.5,
+            self.period,
+        )
+
+
+class TradingReport:
+    """Outcome of a trading run."""
+
+    def __init__(self, task, task_result, broker, last_tick):
+        self.task = task
+        self.task_result = task_result
+        self.broker = broker
+        self.last_tick = last_tick
+
+    @property
+    def decisions(self):
+        return self.task.decisions
+
+    @property
+    def decision_counts(self):
+        counts = {kind: 0 for kind in DecisionKind}
+        for _job, decision, _order in self.task.decisions:
+            counts[decision.kind] += 1
+        return counts
+
+    @property
+    def mean_confidence(self):
+        values = [d.confidence for _j, d, _o in self.task.decisions]
+        return statistics.fmean(values) if values else 0.0
+
+    @property
+    def qos(self):
+        """Mean optional execution time per job (the paper's QoS)."""
+        probes = self.task_result.probes
+        if not probes:
+            return 0.0
+        return statistics.fmean(
+            p.optional_time_executed for p in probes
+        )
+
+    def summary(self):
+        trading = self.broker.summary(self.last_tick)
+        counts = self.decision_counts
+        return {
+            "jobs": len(self.task_result.probes),
+            "deadline_misses": len(self.task_result.deadline_misses),
+            "qos_ms": self.qos / MSEC,
+            "mean_confidence": self.mean_confidence,
+            "bids": counts[DecisionKind.BID],
+            "asks": counts[DecisionKind.ASK],
+            "waits": counts[DecisionKind.WAIT],
+            **trading,
+        }
+
+
+class RealTimeTradingSystem:
+    """Wire feed + analyzers + broker onto RT-Seed and run.
+
+    :param n_seconds: trading duration (jobs; the task period is 1 s).
+    :param analyzers: anytime analyzer panel (defaults to
+        :func:`default_analyzers`).
+    :param policy: optional-part assignment policy name.
+    :param load: background load (for overhead studies).
+    :param optional_deadline: relative OD; default ``D - w`` with the
+        modeled wind-up bound.
+    """
+
+    def __init__(self, n_seconds=60, seed=0, analyzers=None,
+                 policy="one_by_one", load=BackgroundLoad.NONE,
+                 topology=None, cost_model="xeonphi", strategy=None,
+                 optional_deadline=None, history_length=120):
+        self.feed = MarketFeed(seed=seed)
+        self.broker = SimBroker()
+        self.analyzers = analyzers or default_analyzers(seed)
+        self.task = TradingTask(
+            "trader",
+            self.feed,
+            self.analyzers,
+            self.broker,
+            strategy=strategy,
+            history_length=history_length,
+        )
+        self.middleware = RTSeed(topology=topology, load=load,
+                                 cost_model=cost_model, seed=seed)
+        self.middleware.add_task(
+            self.task,
+            n_jobs=n_seconds,
+            policy=policy,
+            optional_deadline=optional_deadline,
+        )
+        self.n_seconds = n_seconds
+
+    def run(self):
+        result = self.middleware.run()
+        last_index = self.feed.index_at(self.n_seconds * SEC)
+        return TradingReport(
+            self.task,
+            result.tasks[self.task.name],
+            self.broker,
+            self.feed.tick(last_index),
+        )

@@ -1,0 +1,44 @@
+"""Tests for ASCII reporting helpers."""
+
+from repro.bench.reporting import format_series, format_table
+
+
+def test_format_table_basic():
+    out = format_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "30" in lines[4]
+
+
+def test_format_table_none_cells_blank():
+    out = format_table(["x"], [[None], ["y"]])
+    assert "None" not in out
+    assert "y" in out
+
+
+def test_format_table_column_alignment():
+    out = format_table(["col"], [["a"], ["longer"]])
+    lines = out.splitlines()
+    assert len(lines[1]) <= len(lines[-1])
+
+
+def test_format_series():
+    series = {
+        "one_by_one": [(4, 1.0), (8, 2.0)],
+        "all_by_all": [(4, 1.5), (8, 2.5)],
+    }
+    out = format_series("Fig X", series, unit="ms")
+    assert "Fig X" in out
+    assert "one_by_one [ms]" in out
+    assert "2.5" in out
+
+
+def test_format_series_empty():
+    assert format_series("T", {}) == "T"
+
+
+def test_format_series_handles_none():
+    out = format_series("T", {"s": [(4, None)]})
+    assert "4" in out

@@ -1,0 +1,62 @@
+"""Tests for Figure 2 / Figure 3 trace generation."""
+
+import pytest
+
+from repro.bench.traces import (
+    fig2_optional_deadline_traces,
+    fig3_remaining_time_traces,
+)
+
+
+def test_fig3_general_curve():
+    traces = fig3_remaining_time_traces()
+    general = traces["general"]
+    # R(0) = m + w = 500, monotone to zero at 500
+    assert general[0] == (0.0, 500.0)
+    assert general[-1] == (500.0, 0.0)
+    remainders = [r for _t, r in general]
+    assert remainders == sorted(remainders, reverse=True)
+
+
+def test_fig3_semi_fixed_curve():
+    traces = fig3_remaining_time_traces()
+    semi = traces["semi_fixed"]
+    assert semi[0] == (0.0, 250.0)         # R(0) = m
+    assert (250.0, 0.0) in semi            # mandatory exhausted at m
+    assert (750.0, 250.0) in semi          # w appears at OD = D - w
+    assert semi[-1] == (1000.0, 0.0)       # done exactly at D
+
+
+def test_fig3_custom_parameters():
+    traces = fig3_remaining_time_traces(mandatory=100.0, windup=50.0,
+                                        period=400.0)
+    semi = traces["semi_fixed"]
+    assert semi[0] == (0.0, 100.0)
+    assert (350.0, 50.0) in semi
+    assert semi[-1] == (400.0, 0.0)
+
+
+def test_fig2_tau1_terminated_at_od():
+    summary = fig2_optional_deadline_traces()
+    tau1 = summary["tau1"]
+    assert tau1["mandatory_completed"] < tau1["optional_deadline"]
+    assert tau1["optional_fate"] == "terminated"
+    assert tau1["optional_executed"] > 0
+    assert tau1["windup_started"] == pytest.approx(
+        tau1["optional_deadline"]
+    )
+    assert not tau1["od_passed_before_mandatory"]
+
+
+def test_fig2_tau2_od_passes_during_mandatory():
+    summary = fig2_optional_deadline_traces()
+    tau2 = summary["tau2"]
+    assert tau2["mandatory_completed"] > tau2["optional_deadline"]
+    assert tau2["od_passed_before_mandatory"]
+    assert tau2["optional_fate"] == "discarded"
+    assert tau2["optional_executed"] == 0
+    # wind-up starts at mandatory completion, not the OD
+    assert tau2["windup_started"] == pytest.approx(
+        tau2["mandatory_completed"]
+    )
+    assert tau2["completed"] <= tau2["deadline"]

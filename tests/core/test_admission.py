@@ -1,0 +1,108 @@
+"""Tests for the admission controller."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.model import ExtendedImpreciseTask
+
+
+def task(name, mandatory, windup, period):
+    return ExtendedImpreciseTask(name, mandatory, 1.0, windup, period)
+
+
+def test_admit_feasible_task():
+    controller = AdmissionController(n_cpus=2)
+    decision = controller.admit(task("a", 2, 2, 10), cpu=0)
+    assert decision
+    assert decision.optional_deadlines["a"] == pytest.approx(8.0)
+    assert controller.utilization(0) == pytest.approx(0.4)
+
+
+def test_reject_duplicate_name():
+    controller = AdmissionController(n_cpus=1)
+    assert controller.admit(task("a", 1, 1, 10), cpu=0)
+    decision = controller.admit(task("a", 1, 1, 20), cpu=0)
+    assert not decision
+    assert "duplicate" in decision.reason
+
+
+def test_reject_overload():
+    controller = AdmissionController(n_cpus=1)
+    assert controller.admit(task("a", 3, 3, 10), cpu=0)   # U = 0.6
+    decision = controller.admit(task("b", 3, 3, 10), cpu=0)
+    assert not decision
+    assert "unschedulable" in decision.reason
+    # the rejected task was not recorded
+    assert len(controller.admitted(0)) == 1
+
+
+def test_reject_infeasible_optional_deadline():
+    controller = AdmissionController(n_cpus=1)
+    assert controller.admit(task("hog", 2, 2, 5), cpu=0)
+    # heavy wind-up whose response time under hog interference blows D
+    decision = controller.admit(task("tight", 4, 10, 20), cpu=0)
+    assert not decision
+
+
+def test_admission_affects_existing_ods():
+    """Admitting a higher-priority task shrinks existing tasks' ODs —
+    the controller recomputes and returns the new table."""
+    controller = AdmissionController(n_cpus=1)
+    first = controller.admit(task("slow", 2, 2, 20), cpu=0)
+    assert first.optional_deadlines["slow"] == pytest.approx(18.0)
+    second = controller.admit(task("fast", 1, 1, 5), cpu=0)
+    assert second
+    assert second.optional_deadlines["slow"] < 18.0
+
+
+def test_admit_anywhere_first_fit_and_worst_fit():
+    controller = AdmissionController(n_cpus=2)
+    cpu_a, _ = controller.admit_anywhere(task("a", 3, 3, 10))
+    assert cpu_a == 0
+    cpu_b, _ = controller.admit_anywhere(task("b", 3, 3, 10))
+    assert cpu_b == 1  # does not fit with a on CPU 0
+    # worst-fit prefers the emptier CPU
+    controller2 = AdmissionController(n_cpus=2)
+    controller2.admit(task("x", 1, 1, 10), cpu=0)
+    cpu_y, _ = controller2.admit_anywhere(task("y", 1, 1, 10),
+                                          heuristic="worst_fit")
+    assert cpu_y == 1
+
+
+def test_admit_anywhere_total_rejection():
+    controller = AdmissionController(n_cpus=1)
+    controller.admit(task("a", 4, 4, 10), cpu=0)
+    cpu, decision = controller.admit_anywhere(task("b", 4, 4, 10))
+    assert cpu is None
+    assert not decision
+
+
+def test_release_frees_capacity():
+    controller = AdmissionController(n_cpus=1)
+    controller.admit(task("a", 3, 3, 10), cpu=0)
+    assert not controller.admit(task("b", 3, 3, 10), cpu=0)
+    assert controller.release("a")
+    assert controller.admit(task("b", 3, 3, 10), cpu=0)
+    assert not controller.release("ghost")
+
+
+def test_band_capacity_limit():
+    controller = AdmissionController(n_cpus=1)
+    for index in range(49):
+        assert controller.admit(
+            task(f"t{index}", 0.001, 0.001, 1000.0 + index), cpu=0
+        )
+    decision = controller.admit(task("overflow", 0.001, 0.001, 5000.0),
+                                cpu=0)
+    assert not decision
+    assert "band" in decision.reason
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(0)
+    controller = AdmissionController(1)
+    with pytest.raises(ValueError):
+        controller.test(task("a", 1, 1, 10), cpu=5)
+    with pytest.raises(ValueError):
+        controller.admit_anywhere(task("a", 1, 1, 10), heuristic="magic")

@@ -1,0 +1,151 @@
+"""Why RT-Seed signals each optional part individually (Section IV-C).
+
+The paper: "RT-Seed does not use the pthread_cond_broadcast function
+because the parallel optional parts are not always executed after the
+mandatory part has been completed" — i.e. parts the scheduler has no
+time for must remain *discarded*.  These tests exercise both
+primitives directly on the kernel and show the semantic difference.
+"""
+
+import pytest
+
+from repro.simkernel import (
+    ClockNanosleep,
+    CondBroadcast,
+    CondSignal,
+    CondVar,
+    CondWait,
+    Compute,
+    GetTime,
+    Kernel,
+    Mutex,
+    MutexLock,
+    MutexUnlock,
+    Topology,
+)
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC
+
+
+def run_wakeup(use_broadcast, n_waiters=4, signals=2):
+    """``signals`` of ``n_waiters`` parts should run; count who woke."""
+    kernel = Kernel(Topology(8, 1, share_fn=uniform_share))
+    mutex = Mutex()
+    cond = CondVar()
+    pending = [0] * n_waiters
+    woke = []
+
+    def waiter(index):
+        def body(thread):
+            yield MutexLock(mutex)
+            while pending[index] == 0:
+                yield CondWait(cond, mutex)
+            yield MutexUnlock(mutex)
+            woke.append(index)
+
+        return body
+
+    def boss(thread):
+        yield Compute(5 * MSEC)
+        yield MutexLock(mutex)
+        if use_broadcast:
+            # wrong tool: cannot select which parts get to run
+            for index in range(signals):
+                pending[index] = 1
+            yield CondBroadcast(cond)
+        else:
+            for index in range(signals):
+                pending[index] = 1
+                yield CondSignal(cond)
+        yield MutexUnlock(mutex)
+        # let any extra wake-ups play out, then release the rest
+        yield ClockNanosleep(50 * MSEC)
+        yield MutexLock(mutex)
+        for index in range(n_waiters):
+            pending[index] = 1
+        if use_broadcast:
+            yield CondBroadcast(cond)
+        else:
+            for index in range(n_waiters):
+                yield CondSignal(cond)
+        yield MutexUnlock(mutex)
+
+    for index in range(n_waiters):
+        kernel.create_thread(f"w{index}", waiter(index), cpu=index + 1,
+                             priority=40)
+    kernel.create_thread("boss", boss, cpu=0, priority=90)
+    kernel.run(until=30 * MSEC)
+    woken_early = sorted(woke)
+    kernel.run()
+    return woken_early
+
+
+def test_cond_signal_wakes_exactly_the_selected_parts():
+    """Per-part signalling: only the parts with work wake up — the
+    others stay discarded (blocked) without ever being scheduled."""
+    assert run_wakeup(use_broadcast=False) == [0, 1]
+
+
+def test_cond_broadcast_wakes_everyone():
+    """Broadcast wakes every waiter; the unselected ones must run just
+    to discover they have nothing to do (wasted wake-ups the paper's
+    design avoids), then they must re-block."""
+    kernel = Kernel(Topology(8, 1, share_fn=uniform_share))
+    mutex = Mutex()
+    cond = CondVar()
+    wakeups = []
+
+    def waiter(index):
+        def body(thread):
+            yield MutexLock(mutex)
+            yield CondWait(cond, mutex)
+            wakeups.append(index)
+            yield MutexUnlock(mutex)
+
+        return body
+
+    def boss(thread):
+        yield Compute(5 * MSEC)
+        yield CondBroadcast(cond)
+
+    for index in range(4):
+        kernel.create_thread(f"w{index}", waiter(index), cpu=index + 1,
+                             priority=40)
+    kernel.create_thread("boss", boss, cpu=0, priority=90)
+    kernel.run_to_completion()
+    assert sorted(wakeups) == [0, 1, 2, 3]
+
+
+def test_broadcast_returns_waiter_count():
+    kernel = Kernel(Topology(4, 1, share_fn=uniform_share))
+    mutex = Mutex()
+    cond = CondVar()
+    result = {}
+
+    def waiter(thread):
+        yield MutexLock(mutex)
+        yield CondWait(cond, mutex)
+        yield MutexUnlock(mutex)
+
+    def boss(thread):
+        yield Compute(1 * MSEC)
+        result["count"] = yield CondBroadcast(cond)
+
+    kernel.create_thread("w0", waiter, cpu=1, priority=40)
+    kernel.create_thread("w1", waiter, cpu=2, priority=40)
+    kernel.create_thread("boss", boss, cpu=0, priority=90)
+    kernel.run_to_completion()
+    assert result["count"] == 2
+
+
+def test_broadcast_no_waiters_returns_zero():
+    kernel = Kernel(Topology(1, 1, share_fn=uniform_share))
+    cond = CondVar()
+    result = {}
+
+    def boss(thread):
+        result["count"] = yield CondBroadcast(cond)
+
+    kernel.create_thread("boss", boss, cpu=0, priority=90)
+    kernel.run_to_completion()
+    assert result["count"] == 0

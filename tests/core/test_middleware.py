@@ -1,0 +1,168 @@
+"""Tests for the RTSeed middleware runner (Section IV-B + V-A config)."""
+
+import pytest
+
+from repro.core import RTSeed, WorkloadTask
+from repro.core.queues import HPQ_PRIORITY
+from repro.core.task import Task
+from repro.core.termination import TryCatchTermination
+from repro.hardware.loads import BackgroundLoad
+from repro.simkernel import Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC, SEC
+
+
+def small_machine():
+    return Topology(4, 4, share_fn=uniform_share, background_weight=0.0)
+
+
+def eval_task(n_parallel=4, name="tau1"):
+    # slack-bearing variant of the Section V-A workload
+    return WorkloadTask(name, 200 * MSEC, 1 * SEC, 200 * MSEC, 1 * SEC,
+                        n_parallel=n_parallel)
+
+
+def test_single_task_run_paper_setup():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    middleware.add_task(eval_task(), n_jobs=3, policy="one_by_one")
+    result = middleware.run()
+    task_result = result.tasks["tau1"]
+    assert task_result.all_deadlines_met
+    assert task_result.fates["terminated"] == 12  # 3 jobs x 4 parts
+    # OD computed from the model: D - w = 800 ms
+    probe = task_result.probes[0]
+    assert probe.od_abs - probe.release == pytest.approx(800 * MSEC)
+
+
+def test_priorities_follow_rm_order_within_rtq():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    fast = WorkloadTask("fast", 10 * MSEC, 20 * MSEC, 10 * MSEC,
+                        500 * MSEC, n_parallel=1)
+    slow = WorkloadTask("slow", 10 * MSEC, 20 * MSEC, 10 * MSEC,
+                        1 * SEC, n_parallel=1)
+    middleware.add_task(slow, n_jobs=2, cpu=0, optional_cpus=[1])
+    middleware.add_task(fast, n_jobs=4, cpu=0, optional_cpus=[2])
+    result = middleware.run()
+    fast_priority = result.tasks["fast"].process.priority
+    slow_priority = result.tasks["slow"].process.priority
+    assert fast_priority == 98          # RM rank 0
+    assert slow_priority == 97
+    assert result.all_deadlines_met
+
+
+def test_optional_priority_gap_is_49():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    middleware.add_task(eval_task(), n_jobs=1)
+    result = middleware.run()
+    process = result.tasks["tau1"].process
+    assert process.priority - process.optional_priority == 49
+
+
+def test_hpq_for_heavy_tasks():
+    """Footnote 1: a task with U above the RM-US threshold gets the HPQ
+    priority 99."""
+    middleware = RTSeed(topology=small_machine(), cost_model="zero",
+                        use_hpq=True)
+    # U = 0.8 > 16/(3*16-2) = 0.348
+    heavy = WorkloadTask("heavy", 400 * MSEC, 100 * MSEC, 400 * MSEC,
+                         1 * SEC, n_parallel=1)
+    middleware.add_task(heavy, n_jobs=2, optional_cpus=[1])
+    result = middleware.run()
+    assert result.tasks["heavy"].process.priority == HPQ_PRIORITY
+
+
+def test_two_tasks_same_cpu_rmwp_interference():
+    """Lower-priority mandatory parts are preempted by higher-priority
+    mandatory/wind-up parts; both tasks meet deadlines."""
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    high = WorkloadTask("high", 50 * MSEC, 100 * MSEC, 50 * MSEC,
+                        500 * MSEC, n_parallel=1)
+    low = WorkloadTask("low", 100 * MSEC, 100 * MSEC, 100 * MSEC,
+                       1 * SEC, n_parallel=1)
+    middleware.add_task(high, n_jobs=4, cpu=0, optional_cpus=[1])
+    middleware.add_task(low, n_jobs=2, cpu=0, optional_cpus=[2])
+    result = middleware.run()
+    assert result.all_deadlines_met
+    # the low task's OD accounts for the high task's wind-up interference
+    low_probe = result.tasks["low"].probes[0]
+    od_rel = low_probe.od_abs - low_probe.release
+    assert od_rel <= 1 * SEC - 100 * MSEC
+
+
+def test_termination_strategy_override_try_catch_misses():
+    """With try/catch termination, the lost timer makes job 2's optional
+    part overrun and the process blows deadlines (Table I, end to end)."""
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    task = eval_task(n_parallel=2)
+    middleware.add_task(task, n_jobs=3, strategy=TryCatchTermination())
+    result = middleware.run()
+    task_result = result.tasks["tau1"]
+    assert not task_result.all_deadlines_met
+    fates = [probe.optional_fate for probe in task_result.probes]
+    assert fates[0] == ["terminated", "terminated"]
+    assert "completed" in fates[1]  # the runaway job
+
+
+def test_background_load_applied_to_topology():
+    middleware = RTSeed(load=BackgroundLoad.CPU)
+    assert all(t.background_busy for t in middleware.topology.hw_threads)
+    middleware = RTSeed(load=BackgroundLoad.NONE)
+    assert not any(t.background_busy for t in middleware.topology.hw_threads)
+
+
+def test_add_task_validation():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    with pytest.raises(TypeError):
+        middleware.add_task(object(), n_jobs=1)
+    task = eval_task()
+    middleware.add_task(task, n_jobs=1)
+    with pytest.raises(ValueError):
+        middleware.add_task(eval_task(name="tau1"), n_jobs=1)
+    plain = Task("plain", period=1 * SEC)  # no model, no OD
+    with pytest.raises(ValueError):
+        middleware.add_task(plain, n_jobs=1)
+
+
+def test_run_requires_tasks_and_runs_once():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    with pytest.raises(RuntimeError):
+        middleware.run()
+    middleware.add_task(eval_task(), n_jobs=1)
+    middleware.run()
+    with pytest.raises(RuntimeError):
+        middleware.run()
+    with pytest.raises(RuntimeError):
+        middleware.add_task(eval_task(name="late"), n_jobs=1)
+
+
+def test_explicit_optional_deadline_respected():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    middleware.add_task(eval_task(), n_jobs=1,
+                        optional_deadline=600 * MSEC)
+    result = middleware.run()
+    probe = result.tasks["tau1"].probes[0]
+    assert probe.od_abs - probe.release == pytest.approx(600 * MSEC)
+
+
+def test_policy_instance_accepted():
+    from repro.core.policies import AllByAll
+
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    middleware.add_task(eval_task(n_parallel=4), n_jobs=1,
+                        policy=AllByAll())
+    result = middleware.run()
+    cpus = result.tasks["tau1"].process.optional_cpus
+    assert cpus == [0, 1, 2, 3]
+
+
+def test_fates_counter():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    task = WorkloadTask("t", 100 * MSEC, 50 * MSEC, 100 * MSEC, 1 * SEC,
+                        n_parallel=2)
+    middleware.add_task(task, n_jobs=2, optional_cpus=[1, 2])
+    result = middleware.run()
+    assert result.tasks["t"].fates == {
+        "completed": 4,
+        "terminated": 0,
+        "discarded": 0,
+    }

@@ -1,0 +1,117 @@
+"""Property tests over the middleware protocol.
+
+Hypothesis varies the task shape (np, part lengths, OD, policy) and the
+invariants of the Figure 6 protocol must hold on every run:
+
+* the mandatory part starts at (or after) the release and ends before
+  anything optional starts;
+* no optional part executes outside [mandatory end, OD];
+* the wind-up part starts at the OD (overrun), at optional completion
+  (early finish), or at mandatory completion (discard) — never earlier;
+* fates are consistent with the timeline;
+* QoS never exceeds np x the optional window.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RTSeed, WorkloadTask
+from repro.simkernel import Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC, SEC
+
+config_strategy = st.fixed_dictionaries(
+    {
+        "n_parallel": st.integers(min_value=1, max_value=6),
+        "mandatory_ms": st.floats(min_value=20.0, max_value=300.0),
+        "windup_ms": st.floats(min_value=20.0, max_value=200.0),
+        "optional_ms": st.floats(min_value=10.0, max_value=1500.0),
+        "od_ms": st.floats(min_value=50.0, max_value=950.0),
+        "policy": st.sampled_from(
+            ["one_by_one", "two_by_two", "all_by_all"]
+        ),
+    }
+)
+
+
+def run_config(config):
+    machine = Topology(4, 4, share_fn=uniform_share,
+                       background_weight=0.0)
+    middleware = RTSeed(topology=machine, cost_model="zero")
+    task = WorkloadTask(
+        "t",
+        config["mandatory_ms"] * MSEC,
+        config["optional_ms"] * MSEC,
+        config["windup_ms"] * MSEC,
+        1 * SEC,
+        n_parallel=config["n_parallel"],
+    )
+    middleware.add_task(
+        task,
+        n_jobs=2,
+        policy=config["policy"],
+        optional_deadline=config["od_ms"] * MSEC,
+    )
+    return middleware.run().tasks["t"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=config_strategy)
+def test_protocol_invariants(config):
+    result = run_config(config)
+    for probe in result.probes:
+        # mandatory part anchored at the release
+        assert probe.mandatory_start >= probe.release - 1e-6
+        assert probe.mandatory_end >= probe.mandatory_start
+
+        window_start = probe.mandatory_end
+        window_end = probe.od_abs
+        for index in range(len(probe.optional_start)):
+            start = probe.optional_start[index]
+            end = probe.optional_end[index]
+            fate = probe.optional_fate[index]
+            if fate == "discarded":
+                continue
+            assert start is not None and end is not None
+            # optional execution confined to [mandatory end, OD]
+            assert start >= window_start - 1e-6
+            assert end <= window_end + 1e-6
+            assert end >= start
+            if fate == "terminated":
+                assert end == pytest.approx(window_end)
+
+        # the wind-up never starts before anything it depends on
+        assert probe.windup_start >= probe.mandatory_end - 1e-6
+        if all(f == "discarded" for f in probe.optional_fate):
+            assert probe.windup_start == pytest.approx(
+                probe.mandatory_end
+            )
+        else:
+            latest_end = max(
+                end for end in probe.optional_end if end is not None
+            )
+            assert probe.windup_start == pytest.approx(latest_end)
+        assert probe.windup_end >= probe.windup_start
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=config_strategy)
+def test_fates_partition_every_part(config):
+    result = run_config(config)
+    fates = result.fates
+    assert sum(fates.values()) == 2 * config["n_parallel"]
+    # discard happens iff the mandatory part met/overran the OD
+    for probe in result.probes:
+        if probe.mandatory_end >= probe.od_abs:
+            assert all(f == "discarded" for f in probe.optional_fate)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=config_strategy)
+def test_qos_bounded_by_parallel_window(config):
+    result = run_config(config)
+    for probe in result.probes:
+        window = max(0.0, probe.od_abs - probe.mandatory_end)
+        assert probe.optional_time_executed <= \
+            config["n_parallel"] * window + 1e-3

@@ -1,0 +1,223 @@
+"""Tests for the RealTimeProcess protocol (Figure 6)."""
+
+import pytest
+
+from repro.core.process import JobProbe, RealTimeProcess
+from repro.core.task import Task, WorkloadTask
+from repro.simkernel import Kernel, Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC, SEC
+
+
+def make_kernel(n_cores=4, threads_per_core=2):
+    return Kernel(Topology(n_cores, threads_per_core,
+                           share_fn=uniform_share, background_weight=0.0))
+
+
+def run_process(kernel, task, optional_cpus, od, n_jobs=3, priority=90,
+                **kwargs):
+    process = RealTimeProcess(
+        kernel, task, priority=priority, cpu=0,
+        optional_cpus=optional_cpus, optional_deadline=od, n_jobs=n_jobs,
+        **kwargs,
+    ).spawn()
+    kernel.run_to_completion()
+    return process
+
+
+def test_fig6_protocol_overrunning_parts():
+    """The Figure 6 scenario: parts overrun, are terminated at the OD,
+    and the wind-up runs after all parts ended."""
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 100 * MSEC, 2 * SEC, 100 * MSEC, 1 * SEC,
+                        n_parallel=3)
+    process = run_process(kernel, task, [0, 2, 4], od=900 * MSEC)
+    assert len(process.probes) == 3
+    for probe in process.probes:
+        assert probe.mandatory_start == pytest.approx(probe.release)
+        assert probe.mandatory_end == pytest.approx(
+            probe.release + 100 * MSEC
+        )
+        assert probe.optional_fate == ["terminated"] * 3
+        # every optional part ends at the OD (zero-cost kernel)
+        for end in probe.optional_end:
+            assert end == pytest.approx(probe.od_abs)
+        assert probe.windup_start == pytest.approx(probe.od_abs)
+        assert probe.windup_end == pytest.approx(
+            probe.od_abs + 100 * MSEC
+        )
+        assert probe.deadline_met
+
+
+def test_completing_parts_wake_mandatory_early():
+    """Figure 6 detail: when every part completes before the OD, the
+    wind-up runs immediately (the middleware does not wait for the OD —
+    unlike the theoretical RMWP sleep-in-SQ semantics)."""
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 100 * MSEC, 50 * MSEC, 100 * MSEC, 1 * SEC,
+                        n_parallel=2)
+    process = run_process(kernel, task, [0, 2], od=900 * MSEC, n_jobs=2)
+    for probe in process.probes:
+        assert probe.optional_fate == ["completed", "completed"]
+        assert probe.windup_start < probe.od_abs
+        assert probe.windup_start == pytest.approx(
+            probe.mandatory_end + 50 * MSEC
+        )
+
+
+def test_parts_discarded_when_mandatory_overruns_od():
+    """Section IV-C: if there is no time for the optional parts they are
+    discarded — the wake-up signal is never sent."""
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 300 * MSEC, 1 * SEC, 100 * MSEC, 1 * SEC,
+                        n_parallel=2)
+    # OD at 250ms < mandatory end at 300ms
+    process = run_process(kernel, task, [0, 2], od=250 * MSEC, n_jobs=2)
+    for probe in process.probes:
+        assert probe.optional_fate == ["discarded", "discarded"]
+        assert probe.optional_start == [None, None]
+        # wind-up runs right after the mandatory part
+        assert probe.windup_start == pytest.approx(probe.mandatory_end)
+
+
+def test_qos_scales_with_parallel_parts():
+    """The point of the parallel-extended model: more parts, more QoS."""
+    def total_qos(n_parallel, cpus):
+        kernel = make_kernel()
+        task = WorkloadTask("tau1", 100 * MSEC, 2 * SEC, 100 * MSEC,
+                            1 * SEC, n_parallel=n_parallel)
+        process = run_process(kernel, task, cpus, od=900 * MSEC, n_jobs=2)
+        return process.total_optional_time
+
+    serial = total_qos(1, [0])
+    parallel = total_qos(4, [0, 2, 4, 6])
+    assert parallel == pytest.approx(4 * serial, rel=0.01)
+
+
+def test_parts_on_same_cpu_starve_fifo():
+    """Two NRTQ parts pinned to one CPU: SCHED_FIFO never time-slices,
+    so the second part starves until the OD terminates the first."""
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 100 * MSEC, 2 * SEC, 100 * MSEC, 1 * SEC,
+                        n_parallel=2)
+    process = run_process(kernel, task, [0, 0], od=900 * MSEC, n_jobs=1)
+    probe = process.probes[0]
+    fates = sorted(probe.optional_fate)
+    assert fates == ["terminated", "terminated"]
+    executed = [
+        end - start
+        for start, end in zip(probe.optional_start, probe.optional_end)
+    ]
+    # one part got (almost) the whole window, the other (almost) nothing
+    assert max(executed) == pytest.approx(800 * MSEC, rel=0.01)
+    assert min(executed) == pytest.approx(0.0, abs=1 * MSEC)
+
+
+def test_results_published_by_terminated_parts_reach_windup():
+    """Imprecise-computation contract: the wind-up part collects the
+    partial results the terminated parts published."""
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 100 * MSEC, 2 * SEC, 100 * MSEC, 1 * SEC,
+                        n_parallel=2, chunk=100 * MSEC)
+    process = run_process(kernel, task, [0, 2], od=600 * MSEC, n_jobs=1)
+    probe = process.probes[0]
+    # Window is 100..600 ms = 500 ms per part, chunked at 100 ms.  The
+    # chunk completing exactly at the OD is killed by the timer before it
+    # can publish: work-in-flight is lost on termination (imprecise
+    # semantics), so the wind-up sees the previous chunk's 400 ms.
+    assert probe.results[0] == pytest.approx(400 * MSEC)
+    assert probe.results[1] == pytest.approx(400 * MSEC)
+    assert probe.optional_time_executed == pytest.approx(2 * 500 * MSEC)
+
+
+def test_probe_deltas_zero_under_zero_cost_kernel():
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 100 * MSEC, 2 * SEC, 100 * MSEC, 1 * SEC,
+                        n_parallel=2)
+    process = run_process(kernel, task, [0, 2], od=900 * MSEC, n_jobs=2)
+    for which in "mbse":
+        for value in process.deltas_us(which):
+            assert value == pytest.approx(0.0, abs=1e-6)
+
+
+def test_periodic_execution_interval():
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 50 * MSEC, 100 * MSEC, 50 * MSEC, 1 * SEC,
+                        n_parallel=1)
+    process = run_process(kernel, task, [0], od=900 * MSEC, n_jobs=4)
+    releases = [p.release for p in process.probes]
+    assert releases == [1 * SEC, 2 * SEC, 3 * SEC, 4 * SEC]
+    starts = [p.mandatory_start for p in process.probes]
+    assert starts == pytest.approx(releases)
+
+
+def test_validation_errors():
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 50 * MSEC, 1 * SEC, 50 * MSEC, 1 * SEC,
+                        n_parallel=2)
+    with pytest.raises(ValueError):
+        RealTimeProcess(kernel, task, priority=90, cpu=0,
+                        optional_cpus=[0], optional_deadline=900 * MSEC,
+                        n_jobs=1)
+    with pytest.raises(ValueError):
+        RealTimeProcess(kernel, task, priority=90, cpu=0,
+                        optional_cpus=[0, 2], optional_deadline=2 * SEC,
+                        n_jobs=1)
+    with pytest.raises(ValueError):
+        RealTimeProcess(kernel, task, priority=90, cpu=0,
+                        optional_cpus=[0, 2], optional_deadline=900 * MSEC,
+                        n_jobs=0)
+
+
+def test_double_spawn_rejected():
+    kernel = make_kernel()
+    task = WorkloadTask("tau1", 50 * MSEC, 100 * MSEC, 50 * MSEC, 1 * SEC)
+    process = RealTimeProcess(kernel, task, priority=90, cpu=0,
+                              optional_cpus=[0],
+                              optional_deadline=900 * MSEC, n_jobs=1)
+    process.spawn()
+    with pytest.raises(RuntimeError):
+        process.spawn()
+    kernel.run_to_completion()
+
+
+def test_custom_task_subclass_hooks():
+    """A user Task subclass drives all three parts through the context."""
+    events = []
+
+    class Custom(Task):
+        def exec_mandatory(self, ctx):
+            events.append(("mandatory", ctx.job_index))
+            yield ctx.compute(10 * MSEC)
+
+        def exec_optional(self, ctx, part_index):
+            events.append(("optional", ctx.job_index, part_index))
+            yield ctx.compute(5 * MSEC)
+            ctx.publish(part_index, "done")
+
+        def exec_windup(self, ctx):
+            events.append(("windup", ctx.job_index, ctx.collect()))
+            yield ctx.compute(10 * MSEC)
+
+    kernel = make_kernel()
+    task = Custom("custom", period=1 * SEC, n_parallel=2)
+    process = RealTimeProcess(kernel, task, priority=80, cpu=0,
+                              optional_cpus=[0, 2],
+                              optional_deadline=900 * MSEC,
+                              n_jobs=1).spawn()
+    kernel.run_to_completion()
+    assert ("mandatory", 0) in events
+    assert ("optional", 0, 0) in events
+    assert ("optional", 0, 1) in events
+    windup_events = [e for e in events if e[0] == "windup"]
+    assert windup_events[0][2] == {0: "done", 1: "done"}
+
+
+def test_job_probe_properties_none_before_measurement():
+    probe = JobProbe(0, 0.0, 750.0, 1000.0, 2)
+    assert probe.delta_m is None
+    assert probe.delta_b is None
+    assert probe.delta_s is None
+    assert probe.delta_e is None
+    assert probe.delta_us("m") is None
+    assert not probe.deadline_met

@@ -1,0 +1,103 @@
+"""Tests for the HPQ/RTQ/NRTQ/SQ priority-band mapping (Figures 4-5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queues import (
+    HPQ_PRIORITY,
+    NRTQ_RANGE,
+    PRIORITY_GAP,
+    RTQ_RANGE,
+    PriorityBandError,
+    ReadyQueueView,
+    classify_priority,
+    nrtq_priority,
+    rtq_priority,
+)
+from repro.simkernel import (
+    ClockNanosleep,
+    Compute,
+    Kernel,
+    Topology,
+)
+from repro.simkernel.cpu import uniform_share
+
+
+def test_band_constants_match_paper():
+    assert HPQ_PRIORITY == 99
+    assert RTQ_RANGE == (50, 98)
+    assert NRTQ_RANGE == (1, 49)
+    assert PRIORITY_GAP == 49
+
+
+def test_rtq_priority_ranking():
+    assert rtq_priority(0) == 98
+    assert rtq_priority(1) == 97
+    assert rtq_priority(48) == 50
+
+
+def test_rtq_priority_overflow():
+    with pytest.raises(PriorityBandError):
+        rtq_priority(49)
+
+
+def test_nrtq_priority_paper_example():
+    """Section IV-B: 'when the priority of the mandatory thread is 90,
+    the parallel optional threads have priorities of 41'."""
+    assert nrtq_priority(90) == 41
+
+
+def test_nrtq_priority_band_edges():
+    assert nrtq_priority(50) == 1
+    assert nrtq_priority(98) == 49
+
+
+def test_nrtq_priority_rejects_non_rtq_input():
+    with pytest.raises(PriorityBandError):
+        nrtq_priority(99)
+    with pytest.raises(PriorityBandError):
+        nrtq_priority(49)
+
+
+@settings(max_examples=60, deadline=None)
+@given(priority=st.integers(min_value=RTQ_RANGE[0], max_value=RTQ_RANGE[1]))
+def test_every_rtq_beats_every_nrtq(priority):
+    """Figure 4 invariant: every RTQ task outranks every NRTQ task."""
+    optional = nrtq_priority(priority)
+    assert NRTQ_RANGE[0] <= optional <= NRTQ_RANGE[1]
+    assert optional == priority - PRIORITY_GAP
+    assert optional < RTQ_RANGE[0]
+
+
+def test_classify_priority():
+    assert classify_priority(99) == "HPQ"
+    assert classify_priority(75) == "RTQ"
+    assert classify_priority(26) == "NRTQ"
+    with pytest.raises(PriorityBandError):
+        classify_priority(0)
+    with pytest.raises(PriorityBandError):
+        classify_priority(100)
+
+
+def test_ready_queue_view_bands():
+    topology = Topology(3, 1, share_fn=uniform_share)
+    kernel = Kernel(topology)
+
+    def worker(thread):
+        yield Compute(10.0)
+
+    def sleeper(thread):
+        yield ClockNanosleep(100.0)
+
+    kernel.create_thread("rt", worker, cpu=0, priority=90)
+    kernel.create_thread("nrt", worker, cpu=0, priority=41)
+    kernel.create_thread("hp", worker, cpu=1, priority=99)
+    kernel.create_thread("sq", sleeper, cpu=2, priority=60)
+    view = ReadyQueueView(kernel)
+    kernel.run(until=1.0)
+    assert [t.name for t in view.hpq()] == ["hp"]
+    assert [t.name for t in view.rtq()] == ["rt"]
+    assert [t.name for t in view.nrtq()] == ["nrt"]
+    assert [t.name for t in view.sq()] == ["sq"]
+    kernel.run()

@@ -1,0 +1,197 @@
+"""Tests for the hardware package (topology, loads, rdtscp, costs)."""
+
+import pytest
+
+from repro.hardware.loads import BackgroundLoad, apply_load
+from repro.hardware.overheads import (
+    DEFAULT_COSTS,
+    MicroCosts,
+    XeonPhiCostModel,
+)
+from repro.hardware.rdtscp import RdtscpCounter
+from repro.hardware.xeonphi import (
+    NR_CPUS,
+    XEON_PHI_3120A,
+    isolcpus_range,
+    xeon_phi_topology,
+)
+from repro.simkernel import Kernel
+
+
+def test_machine_spec_matches_paper():
+    """Section V-A: Xeon Phi 3120A, 57 cores / 228 hardware threads at
+    1.1 GHz with 512 KB L2."""
+    assert XEON_PHI_3120A.n_cores == 57
+    assert XEON_PHI_3120A.threads_per_core == 4
+    assert XEON_PHI_3120A.n_cpus == 228
+    assert NR_CPUS == 228  # Figure 7's #define NR_CPUS 228
+    assert XEON_PHI_3120A.clock_ghz == pytest.approx(1.1)
+    assert XEON_PHI_3120A.l2_cache_bytes == 512 * 1024
+
+
+def test_isolcpus_range():
+    """Boot parameter isolcpus=1-227."""
+    isolated = isolcpus_range()
+    assert isolated[0] == 1
+    assert isolated[-1] == 227
+    assert 0 not in isolated
+
+
+def test_topology_factory():
+    topology = xeon_phi_topology()
+    assert topology.n_cpus == 228
+    assert topology.n_cores == 57
+    # default: wall-clock budget semantics
+    assert topology.cores[0].background_weight == 0.0
+
+
+def test_topology_smt_accurate_variant():
+    topology = xeon_phi_topology(smt_accurate=True)
+    assert topology.cores[0].background_weight == 1.0
+    assert topology.cores[0].rate_for(1, 0) == pytest.approx(0.5)
+
+
+def test_apply_load_flags():
+    topology = xeon_phi_topology()
+    apply_load(topology, BackgroundLoad.CPU)
+    assert all(t.background_busy for t in topology.hw_threads)
+    apply_load(topology, BackgroundLoad.NONE)
+    assert not any(t.background_busy for t in topology.hw_threads)
+
+
+def test_load_labels():
+    assert BackgroundLoad.NONE.label == "No load"
+    assert BackgroundLoad.CPU.label == "CPU load"
+    assert BackgroundLoad.CPU_MEMORY.label == "CPU-Memory load"
+
+
+def test_rdtscp_reads_cycles_at_clock_rate():
+    topology = xeon_phi_topology()
+    kernel = Kernel(topology)
+    counter = RdtscpCounter(kernel)
+    kernel.engine.now = 1000.0  # 1000 ns
+    cycles, cpu = counter.read(5)
+    assert cpu == 5
+    assert cycles == 1100  # 1.1 cycles per ns
+    assert counter.cycles_to_us(1100) == pytest.approx(1.0)
+    assert counter.elapsed_us(0, 2200) == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# cost model
+# ---------------------------------------------------------------------------
+
+
+def make_model(load=BackgroundLoad.NONE, **kwargs):
+    topology = xeon_phi_topology()
+    apply_load(topology, load)
+    kernel = Kernel(topology)
+    model = XeonPhiCostModel(topology, load, **kwargs)
+    return model, kernel
+
+
+def test_cost_table_has_all_loads():
+    assert set(DEFAULT_COSTS) == set(BackgroundLoad)
+
+
+def test_load_orderings_match_paper():
+    """The per-event calibration encodes the paper's orderings."""
+    none = DEFAULT_COSTS[BackgroundLoad.NONE]
+    cpu = DEFAULT_COSTS[BackgroundLoad.CPU]
+    mem = DEFAULT_COSTS[BackgroundLoad.CPU_MEMORY]
+    # Δm ordering: no load < CPU < CPU-Memory (Figure 10)
+    assert none.sleep_wakeup < cpu.sleep_wakeup < mem.sleep_wakeup
+    # Δb inversion: CPU > CPU-Memory > none (Figure 12)
+    assert cpu.cond_signal > mem.cond_signal > none.cond_signal
+    # Δs: pressure term only matters under no load (Figure 11)
+    assert none.dispatch_pressure > cpu.dispatch_pressure
+    # Δe: policies differ only under load (Figure 13(a) vs (b)/(c))
+    assert none.lock_bg_sibling_penalty == 0.0
+    assert mem.lock_bg_sibling_penalty > cpu.lock_bg_sibling_penalty > 0
+
+
+def test_noise_deterministic_per_seed():
+    first, kernel = make_model(seed=7)
+    second, _ = make_model(seed=7)
+    values_first = [first.timer_handler(None, kernel) for _ in range(10)]
+    values_second = [second.timer_handler(None, kernel) for _ in range(10)]
+    assert values_first == values_second
+
+
+def test_noise_disabled_with_zero_sigma():
+    model, kernel = make_model(noise_sigma=0.0)
+    cost = DEFAULT_COSTS[BackgroundLoad.NONE].timer_handler
+    assert model.timer_handler(None, kernel) == cost
+
+
+def test_uncontended_handoff_free():
+    model, kernel = make_model(load=BackgroundLoad.CPU)
+    assert model.mutex_handoff(None, 0, 5, False, kernel) == 0.0
+    assert model.mutex_handoff(None, None, 5, True, kernel) == 0.0
+    assert model.mutex_handoff(None, 5, 5, True, kernel) == 0.0
+
+
+def test_contended_cross_cpu_handoff_priced():
+    model, kernel = make_model(load=BackgroundLoad.CPU, noise_sigma=0.0)
+    cost = model.mutex_handoff(None, 0, 8, True, kernel)
+    costs = DEFAULT_COSTS[BackgroundLoad.CPU]
+    # warm background on all 3 siblings of CPU 8's core
+    expected = costs.lock_handoff + 3 * costs.lock_bg_sibling_penalty
+    assert cost == pytest.approx(expected)
+
+
+def test_cold_background_discounts_handoff():
+    model, kernel = make_model(load=BackgroundLoad.CPU, noise_sigma=0.0)
+    kernel.engine.now = 1_000_000.0
+    # the siblings' background load resumed just now: cold
+    for sibling in (9, 10, 11):
+        kernel.background_resume_time[sibling] = kernel.engine.now
+    cost = model.mutex_handoff(None, 0, 8, True, kernel)
+    assert cost == pytest.approx(
+        DEFAULT_COSTS[BackgroundLoad.CPU].lock_handoff
+    )
+
+
+def test_no_load_handoff_has_no_sibling_penalty():
+    model, kernel = make_model(load=BackgroundLoad.NONE, noise_sigma=0.0)
+    cost = model.mutex_handoff(None, 0, 8, True, kernel)
+    assert cost == pytest.approx(
+        DEFAULT_COSTS[BackgroundLoad.NONE].lock_handoff
+    )
+
+
+def test_dispatch_pressure_scales_with_running_threads():
+    model, kernel = make_model(noise_sigma=0.0)
+    idle_cost = model.context_switch(0, None, object(), kernel)
+    # fake 100 running FIFO threads
+    from repro.simkernel.thread import KernelThread
+
+    def body(thread):
+        yield None
+
+    for cpu in range(100):
+        thread = KernelThread(f"t{cpu}", body, cpu=cpu, priority=50)
+        kernel.current[cpu] = thread
+    busy_cost = model.context_switch(0, None, object(), kernel)
+    costs = DEFAULT_COSTS[BackgroundLoad.NONE]
+    assert busy_cost - idle_cost == pytest.approx(
+        100 * costs.dispatch_pressure
+    )
+
+
+def test_same_thread_redispatch_discounted():
+    model, kernel = make_model(noise_sigma=0.0)
+    thread = object()
+    resume = model.context_switch(0, thread, thread, kernel)
+    switch = model.context_switch(0, None, thread, kernel)
+    assert resume < switch
+
+
+def test_costs_override():
+    custom = MicroCosts(
+        sleep_wakeup=1.0, sync_wakeup=1.0, context_switch=1.0,
+        dispatch_pressure=0.0, cond_signal=1.0, timer_handler=1.0,
+        unwind=1.0, lock_handoff=1.0, lock_bg_sibling_penalty=0.0,
+    )
+    model, kernel = make_model(costs=custom, noise_sigma=0.0)
+    assert model.timer_handler(None, kernel) == 1.0

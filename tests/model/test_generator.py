@@ -1,0 +1,89 @@
+"""Tests for seeded task-set generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import TaskSetGenerator, uunifast
+from repro.model.task_model import (
+    ExtendedImpreciseTask,
+    ParallelExtendedImpreciseTask,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n_tasks=st.integers(min_value=1, max_value=20),
+    total=st.floats(min_value=0.05, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_uunifast_sums_to_target(n_tasks, total, seed):
+    rng = np.random.default_rng(seed)
+    utilizations = uunifast(n_tasks, total, rng)
+    assert len(utilizations) == n_tasks
+    assert sum(utilizations) == pytest.approx(total)
+    assert all(u >= 0 for u in utilizations)
+
+
+def test_uunifast_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        uunifast(0, 0.5, rng)
+    with pytest.raises(ValueError):
+        uunifast(3, 0.0, rng)
+
+
+def test_generator_is_deterministic_per_seed():
+    first = TaskSetGenerator(seed=42).extended_task_set(5, 0.6)
+    second = TaskSetGenerator(seed=42).extended_task_set(5, 0.6)
+    for a, b in zip(first, second):
+        assert a.mandatory == b.mandatory
+        assert a.windup == b.windup
+        assert a.period == b.period
+
+
+def test_generator_seeds_differ():
+    first = TaskSetGenerator(seed=1).extended_task_set(5, 0.6)
+    second = TaskSetGenerator(seed=2).extended_task_set(5, 0.6)
+    assert any(a.period != b.period for a, b in zip(first, second))
+
+
+def test_periodic_set_hits_requested_utilization():
+    taskset = TaskSetGenerator(seed=7).periodic_task_set(8, 0.75)
+    assert taskset.total_utilization == pytest.approx(0.75, rel=1e-6)
+
+
+def test_extended_set_structure():
+    taskset = TaskSetGenerator(seed=3).extended_task_set(6, 0.5)
+    assert taskset.total_utilization == pytest.approx(0.5, rel=1e-6)
+    for task in taskset:
+        assert isinstance(task, ExtendedImpreciseTask)
+        assert task.mandatory > 0
+        assert task.windup > 0
+        assert task.optional >= 0
+
+
+def test_parallel_set_structure():
+    taskset = TaskSetGenerator(seed=5).parallel_task_set(
+        6, 0.5, parallel_range=(2, 4)
+    )
+    for task in taskset:
+        assert isinstance(task, ParallelExtendedImpreciseTask)
+        assert 2 <= task.n_parallel <= 4
+
+
+def test_period_range_respected():
+    generator = TaskSetGenerator(seed=11, period_range=(100.0, 200.0))
+    taskset = generator.periodic_task_set(20, 0.4)
+    for task in taskset:
+        assert 100.0 <= task.period <= 200.0
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        TaskSetGenerator(period_range=(0.0, 10.0))
+    with pytest.raises(ValueError):
+        TaskSetGenerator(mandatory_fraction_range=(0.0, 0.5))
+    with pytest.raises(ValueError):
+        TaskSetGenerator(mandatory_fraction_range=(0.5, 1.0))

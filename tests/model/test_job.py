@@ -1,0 +1,84 @@
+"""Tests for job records and R_i(t) traces (Figure 3)."""
+
+import pytest
+
+from repro.model import ExtendedImpreciseTask, Job, JobOutcome, PartType
+from repro.model.job import OptionalPartRecord
+
+
+def _task():
+    return ExtendedImpreciseTask("tau", mandatory=3.0, optional=5.0,
+                                 windup=2.0, period=20.0)
+
+
+def test_job_outcome_running_then_completed():
+    job = Job(_task(), 0, release=0.0, deadline=20.0)
+    assert job.outcome is JobOutcome.RUNNING
+    assert job.response_time is None
+    job.completed = 12.0
+    assert job.outcome is JobOutcome.COMPLETED
+    assert job.response_time == pytest.approx(12.0)
+
+
+def test_job_outcome_deadline_miss():
+    job = Job(_task(), 0, release=0.0, deadline=20.0)
+    job.completed = 21.0
+    assert job.outcome is JobOutcome.DEADLINE_MISS
+
+
+def test_optional_time_executed_sums_parts():
+    job = Job(_task(), 0, 0.0, 20.0)
+    for index, executed in enumerate([1.5, 2.5, 0.0]):
+        record = OptionalPartRecord(index)
+        record.executed = executed
+        job.optional_parts.append(record)
+    assert job.optional_time_executed == pytest.approx(4.0)
+
+
+def test_record_segment_validation():
+    job = Job(_task(), 0, 0.0, 20.0)
+    with pytest.raises(ValueError):
+        job.record_segment(5.0, 4.0, PartType.MANDATORY)
+
+
+def test_remaining_time_trace_semi_fixed():
+    """Figure 3 (right): R(0)=m, drops to 0 at m, then w from the OD."""
+    job = Job(_task(), 0, release=0.0, deadline=20.0, optional_deadline=18.0)
+    job.record_segment(0.0, 3.0, PartType.MANDATORY)
+    job.record_segment(3.0, 8.0, PartType.OPTIONAL)
+    job.record_segment(18.0, 20.0, PartType.WINDUP)
+    points = job.remaining_time_trace(semi_fixed=True)
+    assert points[0] == (0.0, 3.0)
+    assert (3.0, 0.0) in points           # mandatory exhausted at t=3
+    assert (18.0, 2.0) in points          # wind-up budget appears at OD
+    assert points[-1] == (20.0, 0.0)
+    # optional execution must not appear in the real-time trace
+    assert all(remaining <= 3.0 for _t, remaining in points)
+
+
+def test_remaining_time_trace_general():
+    """Figure 3 (left): R(0) = m + w, monotonically decreasing."""
+    job = Job(_task(), 0, release=0.0, deadline=20.0)
+    job.record_segment(0.0, 5.0, PartType.WHOLE)
+    points = job.remaining_time_trace(semi_fixed=False)
+    assert points[0] == (0.0, 5.0)
+    assert points[-1] == (5.0, 0.0)
+    remainders = [remaining for _t, remaining in points]
+    assert remainders == sorted(remainders, reverse=True)
+
+
+def test_trace_relative_to_release():
+    job = Job(_task(), 3, release=60.0, deadline=80.0, optional_deadline=78.0)
+    job.record_segment(60.0, 63.0, PartType.MANDATORY)
+    job.record_segment(78.0, 80.0, PartType.WINDUP)
+    points = job.remaining_time_trace(semi_fixed=True)
+    assert points[0] == (0.0, 3.0)
+    assert points[-1] == (20.0, 0.0)
+
+
+def test_optional_part_record_repr_and_fate():
+    record = OptionalPartRecord(2, cpu=7)
+    record.fate = "terminated"
+    record.executed = 123.0
+    assert "terminated" in repr(record)
+    assert record.cpu == 7

@@ -1,0 +1,106 @@
+"""Tests for optional-deadline computation (Section II-B, V-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import ExtendedImpreciseTask
+from repro.model.optional_deadline import (
+    OptionalDeadlineError,
+    optional_deadline_simple,
+    optional_deadlines_rmwp,
+    validate_optional_deadline,
+    windup_response_time,
+)
+
+
+def test_single_task_paper_formula():
+    """Section V-A: OD_1 = D_1 - w_1 for the lone evaluation task."""
+    task = ExtendedImpreciseTask("tau1", mandatory=250.0, optional=1000.0,
+                                 windup=250.0, period=1000.0)
+    assert optional_deadline_simple(task) == pytest.approx(750.0)
+    deadlines = optional_deadlines_rmwp([task])
+    assert deadlines["tau1"] == pytest.approx(750.0)
+
+
+def test_windup_response_time_no_interference():
+    task = ExtendedImpreciseTask("tau1", 2, 5, 3, 20)
+    assert windup_response_time(task, []) == pytest.approx(3.0)
+
+
+def test_windup_response_time_with_interference():
+    high = ExtendedImpreciseTask("high", 1, 0, 1, 5)  # m+w = 2 every 5
+    low = ExtendedImpreciseTask("low", 2, 5, 3, 20)
+    # WR = 3 + ceil(WR/5)*2 -> WR=5 -> 3+2=5 fixed point
+    assert windup_response_time(low, [high]) == pytest.approx(5.0)
+
+
+def test_windup_response_time_infeasible():
+    high = ExtendedImpreciseTask("high", 2, 0, 2, 5)  # m+w = 4 every 5
+    low = ExtendedImpreciseTask("low", 4, 0, 10, 20)
+    # WR = 10 + ceil(WR/5)*4: 10 -> 18 -> 26 > D = 20
+    with pytest.raises(OptionalDeadlineError):
+        windup_response_time(low, [high])
+
+
+def test_rmwp_deadlines_rm_order():
+    t1 = ExtendedImpreciseTask("t1", 1, 2, 1, 8)
+    t2 = ExtendedImpreciseTask("t2", 2, 2, 2, 16)
+    deadlines = optional_deadlines_rmwp([t2, t1])  # order-insensitive input
+    # t1 is highest priority: OD = 8 - 1 = 7
+    assert deadlines["t1"] == pytest.approx(7.0)
+    # t2's wind-up suffers t1 interference: WR = 2 + ceil(WR/8)*2 -> 4
+    assert deadlines["t2"] == pytest.approx(12.0)
+
+
+def test_rmwp_deadline_must_leave_room_for_mandatory():
+    # wind-up response eats nearly the whole period
+    hog = ExtendedImpreciseTask("hog", 3, 0, 3, 8)
+    tight = ExtendedImpreciseTask("tight", 9, 0, 4, 16)
+    with pytest.raises(OptionalDeadlineError):
+        optional_deadlines_rmwp([hog, tight])
+
+
+def test_validate_optional_deadline():
+    task = ExtendedImpreciseTask("t", 2, 1, 3, 10)
+    assert validate_optional_deadline(task, 7.0)
+    with pytest.raises(OptionalDeadlineError):
+        validate_optional_deadline(task, 1.0)  # < mandatory
+    with pytest.raises(OptionalDeadlineError):
+        validate_optional_deadline(task, 8.0)  # no room for wind-up
+    with pytest.raises(TypeError):
+        validate_optional_deadline("not a task", 5.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    mandatory=st.floats(min_value=0.5, max_value=2.0),
+    windup=st.floats(min_value=0.5, max_value=2.0),
+    period=st.floats(min_value=10.0, max_value=100.0),
+)
+def test_single_task_od_always_d_minus_w(mandatory, windup, period):
+    """Property: with no interference the general computation collapses to
+    the paper's OD = D - w."""
+    task = ExtendedImpreciseTask("t", mandatory, 1.0, windup, period)
+    deadlines = optional_deadlines_rmwp([task])
+    assert deadlines["t"] == pytest.approx(period - windup)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    periods=st.lists(
+        st.integers(min_value=8, max_value=64), min_size=2, max_size=5,
+        unique=True,
+    )
+)
+def test_ods_valid_for_light_task_sets(periods):
+    """Property: for light (low-utilization) sets, every OD is valid —
+    it leaves room for the mandatory part and the wind-up part."""
+    tasks = [
+        ExtendedImpreciseTask(f"t{i}", period * 0.05, 1.0, period * 0.05,
+                              float(period))
+        for i, period in enumerate(sorted(periods))
+    ]
+    deadlines = optional_deadlines_rmwp(tasks)
+    for task in tasks:
+        assert validate_optional_deadline(task, deadlines[task.name])

@@ -1,0 +1,98 @@
+"""Tests for the practical imprecise computation model (future work)."""
+
+import pytest
+
+from repro.model.optional_deadline import OptionalDeadlineError
+from repro.model.practical import (
+    PracticalImpreciseTask,
+    practical_optional_deadlines,
+)
+from repro.model.task_model import ExtendedImpreciseTask
+
+
+def _chain(mandatory_parts, period=100.0, optionals=None):
+    if optionals is None:
+        optionals = [10.0] * (len(mandatory_parts) - 1)
+    return PracticalImpreciseTask("p", mandatory_parts, optionals, period)
+
+
+def test_wcet_is_sum_of_mandatory_parts():
+    task = _chain([2.0, 3.0, 5.0])
+    assert task.wcet == pytest.approx(10.0)
+    assert task.utilization == pytest.approx(0.1)
+    assert task.n_phases == 3
+
+
+def test_optional_utilization_sums_stages():
+    task = PracticalImpreciseTask(
+        "p", [2.0, 3.0], [[4.0, 6.0]], 100.0
+    )
+    assert task.optional_utilization == pytest.approx(0.1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PracticalImpreciseTask("p", [2.0], [], 100.0)  # K < 2
+    with pytest.raises(ValueError):
+        PracticalImpreciseTask("p", [2.0, 0.0], [1.0], 100.0)
+    with pytest.raises(ValueError):
+        PracticalImpreciseTask("p", [2.0, 3.0], [1.0, 1.0], 100.0)
+    with pytest.raises(ValueError):
+        PracticalImpreciseTask("p", [2.0, 3.0], [[-1.0]], 100.0)
+    with pytest.raises(ValueError):
+        PracticalImpreciseTask("p", [2.0, 3.0], [[]], 100.0)
+
+
+def test_tail_mandatory():
+    task = _chain([2.0, 3.0, 5.0])
+    assert task.tail_mandatory(0) == pytest.approx(8.0)
+    assert task.tail_mandatory(1) == pytest.approx(5.0)
+
+
+def test_k2_reduces_to_extended_model_od():
+    """With K = 2 the practical OD equals RMWP's OD = D - w."""
+    practical = _chain([4.0, 2.0], period=20.0)
+    extended = ExtendedImpreciseTask("e", 4.0, 10.0, 2.0, 20.0)
+    ods = practical_optional_deadlines(practical)
+    assert len(ods) == 1
+    assert ods[0] == pytest.approx(20.0 - 2.0)
+
+
+def test_multiple_ods_strictly_increasing():
+    task = _chain([2.0, 3.0, 5.0], period=100.0)
+    ods = practical_optional_deadlines(task)
+    # OD^1 = 100 - (3 + 5) = 92; OD^2 = 100 - 5 = 95
+    assert ods == pytest.approx([92.0, 95.0])
+    assert ods[0] < ods[1]
+
+
+def test_ods_account_for_interference():
+    high = ExtendedImpreciseTask("h", 2.0, 0.0, 2.0, 10.0)  # C=4, T=10
+    task = _chain([2.0, 3.0], period=40.0)
+    ods = practical_optional_deadlines(task, higher_priority=[high])
+    # tail = 3: R = 3 + ceil(R/10)*4 -> 7; OD = 40 - 7 = 33
+    assert ods[0] == pytest.approx(33.0)
+
+
+def test_infeasible_tail_rejected():
+    high = ExtendedImpreciseTask("h", 4.0, 0.0, 4.0, 10.0)  # U = 0.8
+    task = _chain([5.0, 14.0], period=30.0)
+    with pytest.raises(OptionalDeadlineError):
+        practical_optional_deadlines(task, higher_priority=[high])
+
+
+def test_prefix_must_fit_before_od():
+    """Without interference prefix + tail = C <= D always holds; with a
+    high-priority task the prefix's response time can overshoot OD^1."""
+    high = ExtendedImpreciseTask("h", 2.0, 0.0, 2.0, 10.0)
+    task = _chain([20.0, 5.0], period=40.0)
+    # OD^1 = 40 - R(5) = 40 - 13 = 27, but R(prefix=20) = 36 > 27
+    with pytest.raises(OptionalDeadlineError):
+        practical_optional_deadlines(task, higher_priority=[high])
+
+
+def test_type_check():
+    with pytest.raises(TypeError):
+        practical_optional_deadlines(
+            ExtendedImpreciseTask("e", 1.0, 1.0, 1.0, 10.0)
+        )

@@ -1,0 +1,226 @@
+"""Tests for RM, EDF, RMWP, RM-US, P-RMWP, G-RMWP algorithm objects."""
+
+import pytest
+
+from repro.model import (
+    ExtendedImpreciseTask,
+    PeriodicTask,
+    TaskSet,
+    TaskSetGenerator,
+)
+from repro.sched import (
+    EarliestDeadlineFirst,
+    GRMWP,
+    PRMWP,
+    RateMonotonic,
+    RMWP,
+    rm_us_priorities,
+    rm_us_threshold,
+)
+from repro.sched.rmus import rm_us_schedulable
+
+
+# ---------------------------------------------------------------------------
+# Rate Monotonic
+# ---------------------------------------------------------------------------
+
+
+def test_rm_priority_order_shortest_period_first():
+    tasks = [
+        PeriodicTask("slow", 1, 100),
+        PeriodicTask("fast", 1, 10),
+        PeriodicTask("mid", 1, 50),
+    ]
+    assert [t.name for t in RateMonotonic.priority_order(tasks)] == [
+        "fast",
+        "mid",
+        "slow",
+    ]
+
+
+def test_rm_assign_priorities_middleware_convention():
+    tasks = [PeriodicTask("a", 1, 10), PeriodicTask("b", 1, 20)]
+    priorities = RateMonotonic.assign_priorities(tasks, highest=98, lowest=50)
+    assert priorities == {"a": 98, "b": 97}
+
+
+def test_rm_assign_priorities_range_overflow():
+    tasks = [PeriodicTask(f"t{i}", 1, 10 + i) for i in range(5)]
+    with pytest.raises(ValueError):
+        RateMonotonic.assign_priorities(tasks, highest=52, lowest=50)
+
+
+def test_rm_exact_vs_sufficient():
+    # harmonic set at U=1: exact accepts, sufficient rejects
+    tasks = [PeriodicTask("a", 2, 4), PeriodicTask("b", 4, 8)]
+    assert RateMonotonic(exact=True).is_schedulable(tasks)
+    assert not RateMonotonic(exact=False).is_schedulable(tasks)
+
+
+# ---------------------------------------------------------------------------
+# EDF
+# ---------------------------------------------------------------------------
+
+
+def test_edf_implicit_deadline_exact():
+    tasks = [PeriodicTask("a", 5, 10), PeriodicTask("b", 5, 10)]
+    assert EarliestDeadlineFirst.is_schedulable(tasks)
+    tasks_over = [PeriodicTask("a", 6, 10), PeriodicTask("b", 5, 10)]
+    assert not EarliestDeadlineFirst.is_schedulable(tasks_over)
+
+
+def test_edf_density_for_constrained_deadlines():
+    tasks = [PeriodicTask("a", 2, 10, deadline=4)]
+    assert EarliestDeadlineFirst.is_schedulable(tasks)  # density 0.5
+    tasks = [
+        PeriodicTask("a", 3, 10, deadline=4),
+        PeriodicTask("b", 3, 10, deadline=6),
+    ]
+    assert not EarliestDeadlineFirst.is_schedulable(tasks)  # 0.75+0.5
+
+
+def test_edf_accepts_beyond_rm():
+    """EDF dominates RM on uniprocessors: U in (bound, 1] cases."""
+    tasks = [PeriodicTask("a", 5, 10), PeriodicTask("b", 4.6, 9.3)]
+    assert EarliestDeadlineFirst.is_schedulable(tasks)
+    assert not RateMonotonic(exact=True).is_schedulable(tasks)
+
+
+# ---------------------------------------------------------------------------
+# RMWP
+# ---------------------------------------------------------------------------
+
+
+def _extended_pair():
+    t1 = ExtendedImpreciseTask("t1", 1, 3, 1, 8)
+    t2 = ExtendedImpreciseTask("t2", 2, 3, 2, 16)
+    return [t1, t2]
+
+
+def test_rmwp_schedulable_accepts_feasible_set():
+    assert RMWP.is_schedulable(_extended_pair())
+
+
+def test_rmwp_rejects_rm_infeasible_set():
+    tasks = [
+        ExtendedImpreciseTask("t1", 2, 0, 2, 5),
+        ExtendedImpreciseTask("t2", 2, 0, 2, 6),
+    ]
+    assert not RMWP.is_schedulable(tasks)
+
+
+def test_rmwp_optional_deadlines_match_module():
+    deadlines = RMWP.optional_deadlines(_extended_pair())
+    assert deadlines["t1"] == pytest.approx(7.0)
+
+
+def test_rmwp_guaranteed_optional_window():
+    window = RMWP.guaranteed_optional_window(None, optional_deadline=7.0,
+                                             mandatory_response_time=3.0)
+    assert window == pytest.approx(4.0)
+
+
+# ---------------------------------------------------------------------------
+# RM-US (the HPQ footnote)
+# ---------------------------------------------------------------------------
+
+
+def test_rm_us_threshold_formula():
+    assert rm_us_threshold(1) == pytest.approx(1.0)
+    assert rm_us_threshold(2) == pytest.approx(0.5)
+    assert rm_us_threshold(4) == pytest.approx(0.4)
+
+
+def test_rm_us_priorities_split():
+    tasks = [
+        PeriodicTask("heavy", 6, 10),   # U = 0.6 > 0.5
+        PeriodicTask("light1", 1, 10),
+        PeriodicTask("light2", 1, 5),
+    ]
+    heavy, light = rm_us_priorities(tasks, n_processors=2)
+    assert [t.name for t in heavy] == ["heavy"]
+    assert [t.name for t in light] == ["light2", "light1"]
+
+
+def test_rm_us_schedulable_bound():
+    # bound = M^2/(3M-2) = 4/4 = 1 for M=2
+    tasks = [PeriodicTask("a", 4, 10), PeriodicTask("b", 5, 10)]
+    assert rm_us_schedulable(tasks, 2)
+    tasks = [PeriodicTask("a", 6, 10), PeriodicTask("b", 5, 10)]
+    assert not rm_us_schedulable(tasks, 2)
+
+
+def test_rm_us_threshold_validation():
+    with pytest.raises(ValueError):
+        rm_us_threshold(0)
+
+
+# ---------------------------------------------------------------------------
+# P-RMWP
+# ---------------------------------------------------------------------------
+
+
+def test_prmwp_partitions_and_plans():
+    tasks = [
+        ExtendedImpreciseTask("a", 2, 1, 2, 10),
+        ExtendedImpreciseTask("b", 2, 1, 2, 10),
+        ExtendedImpreciseTask("c", 2, 1, 2, 10),
+    ]
+    taskset = TaskSet(tasks, n_processors=2)
+    algorithm = PRMWP()
+    assert algorithm.is_schedulable(taskset)
+    plan = algorithm.plan(taskset)
+    assert sum(len(p) for p in plan["partitions"]) == 3
+    assert set(plan["optional_deadlines"]) == {"a", "b", "c"}
+    # every OD leaves room for its wind-up part
+    for task in tasks:
+        assert plan["optional_deadlines"][task.name] <= task.period - task.windup + 1e-9
+
+
+def test_prmwp_rejects_overloaded_set():
+    tasks = [
+        ExtendedImpreciseTask(f"t{i}", 3, 1, 3, 10) for i in range(4)
+    ]
+    taskset = TaskSet(tasks, n_processors=2)
+    assert not PRMWP().is_schedulable(taskset)
+
+
+def test_prmwp_heuristic_selection():
+    tasks = [ExtendedImpreciseTask("a", 2, 1, 2, 10)]
+    taskset = TaskSet(tasks, n_processors=1)
+    for heuristic in ("first_fit", "best_fit", "worst_fit", "next_fit"):
+        assert PRMWP(heuristic=heuristic).is_schedulable(taskset)
+
+
+# ---------------------------------------------------------------------------
+# G-RMWP
+# ---------------------------------------------------------------------------
+
+
+def test_grmwp_priority_order_heavy_first():
+    tasks = [
+        ExtendedImpreciseTask("heavy", 4, 0, 3, 10),   # U = 0.7
+        ExtendedImpreciseTask("light", 1, 0, 1, 5),    # U = 0.4
+    ]
+    ordered = GRMWP.priority_order(tasks, n_processors=2)
+    assert [t.name for t in ordered] == ["heavy", "light"]
+
+
+def test_grmwp_schedulability():
+    tasks = [
+        ExtendedImpreciseTask("a", 1, 1, 1, 10),
+        ExtendedImpreciseTask("b", 1, 1, 1, 10),
+    ]
+    taskset = TaskSet(tasks, n_processors=2)
+    assert GRMWP.is_schedulable(taskset)
+
+
+def test_grmwp_migration_cost_estimate_positive():
+    tasks = [
+        ExtendedImpreciseTask("a", 1, 0, 1, 4),
+        ExtendedImpreciseTask("b", 1, 0, 1, 8),
+    ]
+    taskset = TaskSet(tasks, n_processors=2)
+    cost = GRMWP.migration_cost_estimate(taskset, per_migration_cost=10.0)
+    # lower-priority task can be hit by hyperperiod/T_hp = 2 releases
+    assert cost == pytest.approx(20.0)

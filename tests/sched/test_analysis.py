@@ -1,0 +1,94 @@
+"""Tests for schedulability analysis (bounds, RTA)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import PeriodicTask, TaskSetGenerator
+from repro.sched.analysis import (
+    breakdown_utilization,
+    hyperbolic_bound,
+    liu_layland_bound,
+    liu_layland_schedulable,
+    response_time_analysis,
+    rta_schedulable,
+    utilization,
+)
+
+
+def test_liu_layland_bound_values():
+    assert liu_layland_bound(1) == pytest.approx(1.0)
+    assert liu_layland_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+    assert liu_layland_bound(3) == pytest.approx(3 * (2 ** (1 / 3) - 1))
+    # limit ln 2 ~ 0.693
+    assert liu_layland_bound(10_000) == pytest.approx(0.6931, abs=1e-3)
+
+
+def test_liu_layland_bound_validation():
+    with pytest.raises(ValueError):
+        liu_layland_bound(0)
+
+
+def test_rta_exact_classic_example():
+    """Classic RTA example: three tasks, exact response times."""
+    t1 = PeriodicTask("t1", 1.0, 4.0)
+    t2 = PeriodicTask("t2", 2.0, 6.0)
+    t3 = PeriodicTask("t3", 3.0, 12.0)
+    assert response_time_analysis(t1, []) == pytest.approx(1.0)
+    assert response_time_analysis(t2, [t1]) == pytest.approx(3.0)
+    # R3 = 3 + ceil(R/4)*1 + ceil(R/6)*2: 3->6->8->10->10
+    assert response_time_analysis(t3, [t1, t2]) == pytest.approx(10.0)
+    assert rta_schedulable([t1, t2, t3])
+
+
+def test_rta_detects_unschedulable():
+    t1 = PeriodicTask("t1", 3.0, 4.0)
+    t2 = PeriodicTask("t2", 2.0, 6.0)
+    assert response_time_analysis(t2, [t1]) is None
+    assert not rta_schedulable([t1, t2])
+
+
+def test_rta_beats_liu_layland_on_harmonic_sets():
+    """Harmonic periods are schedulable up to U = 1, beyond the LL bound."""
+    t1 = PeriodicTask("t1", 2.0, 4.0)
+    t2 = PeriodicTask("t2", 2.0, 8.0)
+    t3 = PeriodicTask("t3", 4.0, 16.0)
+    assert utilization([t1, t2, t3]) == pytest.approx(1.0)
+    assert not liu_layland_schedulable([t1, t2, t3])
+    assert rta_schedulable([t1, t2, t3])
+
+
+def test_hyperbolic_dominates_liu_layland():
+    """Any set accepted by L&L is accepted by the hyperbolic bound."""
+    generator = TaskSetGenerator(seed=9)
+    for _ in range(30):
+        taskset = generator.periodic_task_set(5, 0.68)
+        if liu_layland_schedulable(taskset.tasks):
+            assert hyperbolic_bound(taskset.tasks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       total=st.floats(min_value=0.1, max_value=0.99))
+def test_sufficient_tests_imply_exact(seed, total):
+    """Property: L&L and hyperbolic acceptance each imply RTA acceptance."""
+    taskset = TaskSetGenerator(seed=seed).periodic_task_set(4, total)
+    tasks = taskset.tasks
+    if liu_layland_schedulable(tasks) or hyperbolic_bound(tasks):
+        assert rta_schedulable(tasks)
+
+
+def test_breakdown_utilization_harmonic():
+    def make(total):
+        return [
+            PeriodicTask("a", 2.0 * total, 4.0),
+            PeriodicTask("b", 4.0 * total, 8.0),
+        ]
+
+    breakdown = breakdown_utilization(make, rta_schedulable, tolerance=1e-4)
+    assert breakdown == pytest.approx(1.0, abs=1e-3)
+
+
+def test_breakdown_utilization_validation():
+    with pytest.raises(ValueError):
+        breakdown_utilization(lambda u: [], lambda t: True, low=1.0, high=0.5)

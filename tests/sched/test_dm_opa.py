@@ -1,0 +1,93 @@
+"""Tests for Deadline Monotonic and Audsley's OPA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import PeriodicTask, TaskSetGenerator
+from repro.sched.analysis import rta_schedulable
+from repro.sched.dm import (
+    DeadlineMonotonic,
+    audsley_opa,
+    opa_schedulable,
+)
+
+
+def test_dm_orders_by_relative_deadline():
+    tasks = [
+        PeriodicTask("a", 1, 20, deadline=15),
+        PeriodicTask("b", 1, 10, deadline=8),
+        PeriodicTask("c", 1, 30, deadline=5),
+    ]
+    ordered = DeadlineMonotonic.priority_order(tasks)
+    assert [t.name for t in ordered] == ["c", "b", "a"]
+
+
+def test_dm_equals_rm_for_implicit_deadlines():
+    generator = TaskSetGenerator(seed=1)
+    for _ in range(20):
+        taskset = generator.periodic_task_set(5, 0.8)
+        assert DeadlineMonotonic.is_schedulable(taskset.tasks) == \
+            rta_schedulable(taskset.tasks)
+
+
+def test_dm_beats_rm_on_constrained_deadlines():
+    """The classic case: a long-period task with a tight deadline needs
+    high priority — DM gives it, RM does not."""
+    urgent = PeriodicTask("urgent", 2, 100, deadline=4)
+    frequent = PeriodicTask("frequent", 3, 10)
+    tasks = [urgent, frequent]
+    assert DeadlineMonotonic.is_schedulable(tasks)
+    assert not rta_schedulable(tasks)  # RM puts 'frequent' on top
+
+
+def test_opa_finds_assignment_where_dm_works():
+    tasks = [
+        PeriodicTask("a", 2, 10),
+        PeriodicTask("b", 3, 15),
+    ]
+    assignment = audsley_opa(tasks)
+    assert assignment is not None
+    assert sorted(t.name for t in assignment) == ["a", "b"]
+
+
+def test_opa_matches_dm_on_constrained_sets():
+    urgent = PeriodicTask("urgent", 2, 100, deadline=4)
+    frequent = PeriodicTask("frequent", 3, 10)
+    assignment = audsley_opa([frequent, urgent])
+    assert assignment is not None
+    assert assignment[0].name == "urgent"
+
+
+def test_opa_returns_none_for_infeasible_sets():
+    tasks = [
+        PeriodicTask("a", 6, 10),
+        PeriodicTask("b", 6, 10, deadline=9),
+    ]
+    assert audsley_opa(tasks) is None
+    assert not opa_schedulable(tasks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=3_000),
+       utilization=st.floats(min_value=0.3, max_value=0.95))
+def test_opa_dominates_dm(seed, utilization):
+    """OPA optimality: every DM-schedulable set is OPA-schedulable."""
+    taskset = TaskSetGenerator(seed=seed).periodic_task_set(5, utilization)
+    if DeadlineMonotonic.is_schedulable(taskset.tasks):
+        assert opa_schedulable(taskset.tasks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=3_000))
+def test_opa_assignment_is_actually_schedulable(seed):
+    """If OPA returns an order, RTA accepts that exact order."""
+    from repro.sched.analysis import response_time_analysis
+
+    taskset = TaskSetGenerator(seed=seed).periodic_task_set(4, 0.85)
+    assignment = audsley_opa(taskset.tasks)
+    if assignment is None:
+        return
+    for index, task in enumerate(assignment):
+        assert response_time_analysis(task, assignment[:index]) \
+            is not None

@@ -1,0 +1,101 @@
+"""Tests for the bin-packing heuristics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import PeriodicTask, TaskSetGenerator
+from repro.sched.partition import (
+    PartitioningError,
+    best_fit,
+    first_fit,
+    next_fit,
+    partition_tasks,
+    worst_fit,
+)
+
+
+def _utilization_predicate(tasks):
+    return sum(t.utilization for t in tasks) <= 1.0 + 1e-12
+
+
+def _tasks(utilizations, period=10.0):
+    return [
+        PeriodicTask(f"t{i}", u * period, period)
+        for i, u in enumerate(utilizations)
+    ]
+
+
+def test_first_fit_packs_greedily():
+    bins = first_fit(_tasks([0.6, 0.5, 0.4]), 2,
+                     predicate=_utilization_predicate)
+    assert [[t.name for t in b] for b in bins] == [["t0", "t2"], ["t1"]]
+
+
+def test_next_fit_never_goes_back():
+    bins = next_fit(_tasks([0.6, 0.5, 0.3]), 3,
+                    predicate=_utilization_predicate)
+    # t1 opens bin 1; t2 fits in bin 1 (0.8), bin 0 never revisited
+    assert [[t.name for t in b] for b in bins] == [["t0"], ["t1", "t2"], []]
+
+
+def test_best_fit_prefers_tightest_bin():
+    tasks = _tasks([0.6, 0.3, 0.35])
+    bins = best_fit(tasks, 2, predicate=_utilization_predicate)
+    # t1 (0.3) fits both bins; best-fit joins the fuller one (t0, 0.6).
+    # t2 (0.35) then only fits the empty bin.
+    assert [[t.name for t in b] for b in bins] == [["t0", "t1"], ["t2"]]
+
+
+def test_worst_fit_prefers_emptiest_bin():
+    tasks = _tasks([0.6, 0.3, 0.35])
+    bins = worst_fit(tasks, 2, predicate=_utilization_predicate)
+    # t2 goes to the lighter bin (with t1)
+    assert [[t.name for t in b] for b in bins] == [["t0"], ["t1", "t2"]]
+
+
+def test_partitioning_error_when_nothing_fits():
+    with pytest.raises(PartitioningError) as excinfo:
+        first_fit(_tasks([0.9, 0.9, 0.9]), 2,
+                  predicate=_utilization_predicate)
+    assert excinfo.value.task.name == "t2"
+
+
+def test_decreasing_preorder():
+    tasks = _tasks([0.2, 0.9, 0.5])
+    bins = first_fit(tasks, 2, predicate=_utilization_predicate,
+                     decreasing=True)
+    # 0.9 first -> bin0; 0.5 -> 1.4 > 1 -> bin1; 0.2 -> 1.1 > 1 -> bin1
+    assert [[t.name for t in b] for b in bins] == [["t1"], ["t2", "t0"]]
+
+
+def test_partition_tasks_unknown_heuristic():
+    with pytest.raises(ValueError):
+        partition_tasks(_tasks([0.1]), 1, heuristic="magic_fit")
+
+
+def test_partition_tasks_default_predicate_is_rta():
+    # harmonic pair at U=1 passes exact RTA on one CPU
+    tasks = [PeriodicTask("a", 2, 4), PeriodicTask("b", 4, 8)]
+    bins = partition_tasks(tasks, 1, heuristic="first_fit", decreasing=False)
+    assert len(bins[0]) == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_partition_heuristics_produce_valid_bins(seed):
+    """Property: every bin a heuristic produces satisfies the predicate,
+    and every task lands in exactly one bin."""
+    taskset = TaskSetGenerator(seed=seed).periodic_task_set(8, 2.0)
+    for heuristic in ("first_fit", "next_fit", "best_fit", "worst_fit"):
+        try:
+            bins = partition_tasks(
+                taskset.tasks, 4, heuristic=heuristic,
+                predicate=_utilization_predicate,
+            )
+        except PartitioningError:
+            continue
+        names = [t.name for b in bins for t in b]
+        assert sorted(names) == sorted(t.name for t in taskset)
+        for bin_tasks in bins:
+            assert _utilization_predicate(bin_tasks)

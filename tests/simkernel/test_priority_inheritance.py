@@ -1,0 +1,148 @@
+"""Tests for priority-inheritance mutexes (PTHREAD_PRIO_INHERIT)."""
+
+import pytest
+
+from repro.simkernel import (
+    ClockNanosleep,
+    Compute,
+    GetTime,
+    Kernel,
+    Mutex,
+    MutexLock,
+    MutexUnlock,
+    Topology,
+)
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC
+
+
+def make_kernel():
+    return Kernel(Topology(1, 1, share_fn=uniform_share))
+
+
+def classic_inversion(protocol):
+    """The Mars-Pathfinder pattern: low takes the lock, high blocks on
+    it, medium (lock-free) preempts low.  Returns high's lock-acquire
+    time."""
+    kernel = make_kernel()
+    mutex = Mutex(protocol=protocol)
+    acquired = {}
+
+    def low(thread):
+        yield MutexLock(mutex)
+        yield Compute(30 * MSEC)
+        yield MutexUnlock(mutex)
+
+    def medium(thread):
+        yield ClockNanosleep(10 * MSEC)
+        yield Compute(50 * MSEC)
+
+    def high(thread):
+        yield ClockNanosleep(5 * MSEC)
+        yield MutexLock(mutex)
+        acquired["high"] = yield GetTime()
+        yield MutexUnlock(mutex)
+
+    kernel.create_thread("low", low, cpu=0, priority=10)
+    kernel.create_thread("medium", medium, cpu=0, priority=50)
+    kernel.create_thread("high", high, cpu=0, priority=90)
+    kernel.run_to_completion()
+    return acquired["high"]
+
+
+def test_unbounded_inversion_without_inheritance():
+    """protocol='none': medium preempts low while high waits — high
+    only gets the lock after medium's 50 ms burn."""
+    # low holds the lock from 0; high blocks at 5; low continues until
+    # medium preempts at 10 (10 of 30 ms done); medium burns 10..60;
+    # low finishes 60..80; high acquires at 80
+    assert classic_inversion("none") == pytest.approx(80 * MSEC)
+
+
+def test_inheritance_bounds_inversion():
+    """protocol='inherit': low is boosted to 90 while high waits, so
+    medium cannot preempt it; high gets the lock after low's remaining
+    critical section only."""
+    # low holds 0..5, high blocks at 5 and boosts low, low runs 5..30,
+    # high acquires at 30 (medium waits until everyone above is done)
+    assert classic_inversion("inherit") == pytest.approx(30 * MSEC)
+
+
+def test_boost_restored_on_release():
+    kernel = make_kernel()
+    mutex = Mutex(protocol="inherit")
+
+    def low(thread):
+        yield MutexLock(mutex)
+        yield Compute(20 * MSEC)
+        yield MutexUnlock(mutex)
+        yield Compute(1 * MSEC)
+
+    def high(thread):
+        yield ClockNanosleep(5 * MSEC)
+        yield MutexLock(mutex)
+        yield MutexUnlock(mutex)
+
+    low_thread = kernel.create_thread("low", low, cpu=0, priority=10)
+    kernel.create_thread("high", high, cpu=0, priority=90)
+    kernel.run(until=10 * MSEC)
+    assert low_thread.priority == 90  # boosted while high waits
+    kernel.run()
+    assert low_thread.priority == 10  # restored at unlock
+
+
+def test_no_boost_for_lower_priority_waiter():
+    kernel = make_kernel()
+    mutex = Mutex(protocol="inherit")
+
+    def high_owner(thread):
+        yield MutexLock(mutex)
+        yield Compute(20 * MSEC)
+        yield MutexUnlock(mutex)
+
+    def low_waiter(thread):
+        yield ClockNanosleep(5 * MSEC)
+        yield MutexLock(mutex)
+        yield MutexUnlock(mutex)
+
+    owner = kernel.create_thread("owner", high_owner, cpu=0, priority=80)
+    kernel.create_thread("waiter", low_waiter, cpu=0, priority=20)
+    kernel.run(until=10 * MSEC)
+    assert owner.priority == 80
+    kernel.run()
+
+
+def test_boost_applies_to_ready_owner():
+    """Boosting a preempted (READY) owner requeues it above its
+    preemptor."""
+    kernel = make_kernel()
+    mutex = Mutex(protocol="inherit")
+    order = []
+
+    def low(thread):
+        yield MutexLock(mutex)
+        yield Compute(20 * MSEC)
+        order.append("low-cs-done")
+        yield MutexUnlock(mutex)
+
+    def medium(thread):
+        yield ClockNanosleep(5 * MSEC)
+        yield Compute(30 * MSEC)
+        order.append("medium-done")
+
+    def high(thread):
+        yield ClockNanosleep(10 * MSEC)
+        yield MutexLock(mutex)  # low is READY (preempted by medium)
+        order.append("high-locked")
+        yield MutexUnlock(mutex)
+
+    kernel.create_thread("low", low, cpu=0, priority=10)
+    kernel.create_thread("medium", medium, cpu=0, priority=50)
+    kernel.create_thread("high", high, cpu=0, priority=90)
+    kernel.run_to_completion()
+    assert order == ["low-cs-done", "high-locked", "medium-done"]
+
+
+def test_invalid_protocol_rejected():
+    with pytest.raises(ValueError):
+        Mutex(protocol="ceiling")

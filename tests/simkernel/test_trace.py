@@ -1,0 +1,116 @@
+"""Tests for the kernel tracer."""
+
+import pytest
+
+from repro.simkernel import (
+    ClockNanosleep,
+    Compute,
+    Kernel,
+    Topology,
+)
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC
+from repro.simkernel.trace import Tracer
+
+
+def traced_run():
+    kernel = Kernel(Topology(2, 1, share_fn=uniform_share))
+    tracer = Tracer.attach(kernel)
+
+    def low(thread):
+        yield Compute(30 * MSEC)
+
+    def high(thread):
+        yield ClockNanosleep(10 * MSEC)
+        yield Compute(10 * MSEC)
+
+    kernel.create_thread("low", low, cpu=0, priority=10)
+    kernel.create_thread("high", high, cpu=0, priority=90)
+    kernel.run_to_completion()
+    return tracer
+
+
+def test_tracer_collects_lifecycle_events():
+    tracer = traced_run()
+    counts = tracer.counts()
+    assert counts["spawn"] == 2
+    assert counts["thread_exit"] == 2
+    assert counts["dispatch"] >= 3  # low, high, low again
+    assert counts["preempt"] == 1
+
+
+def test_filter_by_event_and_thread():
+    tracer = traced_run()
+    preempts = tracer.filter(event="preempt")
+    assert len(preempts) == 1
+    assert preempts[0].thread_name == "low"
+    assert tracer.filter(thread_name="high", event="dispatch")
+
+
+def test_filter_by_time_window():
+    tracer = traced_run()
+    early = tracer.filter(end=5 * MSEC)
+    assert all(r.time <= 5 * MSEC for r in early)
+    late = tracer.filter(start=10 * MSEC)
+    assert all(r.time >= 10 * MSEC for r in late)
+
+
+def test_dispatch_latency_pairs():
+    tracer = traced_run()
+    pairs = tracer.dispatch_latency("high")
+    assert pairs
+    for ready, dispatch in pairs:
+        assert dispatch >= ready
+
+
+def test_busy_intervals_reconstruct_schedule():
+    tracer = traced_run()
+    intervals = tracer.busy_intervals(0)
+    # low [0,10], high [10,20], low [20,40]
+    names = [name for _s, _e, name in intervals]
+    assert names == ["low", "high", "low"]
+    assert intervals[0][0] == pytest.approx(0.0)
+    assert intervals[1][0] == pytest.approx(10 * MSEC)
+    assert intervals[2][1] == pytest.approx(40 * MSEC)
+
+
+def test_gantt_renders_occupancy():
+    tracer = traced_run()
+    chart = tracer.gantt(cpu=0, start=0.0, end=40 * MSEC, width=40)
+    lines = chart.splitlines()
+    assert "CPU 0" in lines[0]
+    body = lines[1]
+    assert len(body) == 40
+    # low (A) occupies the first quarter, high (B) the second
+    assert body[0] == "A"
+    assert body[12] == "B"
+    assert body[-1] == "A"
+    assert "A=low" in lines[2] and "B=high" in lines[2]
+
+
+def test_gantt_no_activity():
+    kernel = Kernel(Topology(2, 1, share_fn=uniform_share))
+    tracer = Tracer.attach(kernel)
+    assert "(no activity)" in tracer.gantt(cpu=1)
+
+
+def test_gantt_invalid_range():
+    tracer = traced_run()
+    with pytest.raises(ValueError):
+        tracer.gantt(cpu=0, start=10.0, end=10.0)
+
+
+def test_max_records_drops_oldest():
+    kernel = Kernel(Topology(1, 1, share_fn=uniform_share))
+    tracer = Tracer(max_records=5)
+    kernel.on_event = tracer
+
+    def body(thread):
+        for step in range(4):
+            yield Compute(1 * MSEC)
+            yield ClockNanosleep((step + 2) * 2 * MSEC)
+
+    kernel.create_thread("t", body, cpu=0, priority=50)
+    kernel.run_to_completion()
+    assert len(tracer.records) == 5
+    assert tracer.dropped > 0

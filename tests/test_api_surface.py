@@ -1,0 +1,126 @@
+"""Coverage for smaller public-API corners and reprs.
+
+A downstream user touches these through the documented API; they should
+not bit-rot silently.
+"""
+
+import pytest
+
+from repro.bench.overheads import OverheadSample, run_overhead_experiment
+from repro.hardware.loads import BackgroundLoad
+from repro.model import (
+    ExtendedImpreciseTask,
+    ParallelExtendedImpreciseTask,
+    PeriodicTask,
+    TaskSet,
+)
+from repro.sched import (
+    GRMWP,
+    RateMonotonic,
+    ScheduleSimulator,
+)
+from repro.simkernel import Kernel, KernelThread, Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.thread import SchedPolicy, ThreadState
+
+
+def test_rm_sufficient_tests_pair():
+    tasks = [PeriodicTask("a", 1, 10), PeriodicTask("b", 1, 20)]
+    liu_layland, hyperbolic = RateMonotonic.sufficient_tests(tasks)
+    assert liu_layland and hyperbolic
+
+
+def test_grmwp_optional_deadlines_accessor():
+    tasks = [
+        ExtendedImpreciseTask("a", 1, 1, 1, 10),
+        ExtendedImpreciseTask("b", 1, 1, 1, 20),
+    ]
+    taskset = TaskSet(tasks, n_processors=2)
+    deadlines = GRMWP.optional_deadlines(taskset)
+    assert set(deadlines) == {"a", "b"}
+    assert deadlines["a"] == pytest.approx(9.0)
+
+
+def test_simulation_result_incomplete_jobs():
+    task = PeriodicTask("a", 5.0, 10.0)
+    result = ScheduleSimulator(TaskSet([task]), policy="rm").run(until=3.0)
+    assert len(result.incomplete) == 1
+    assert not result.all_deadlines_met  # incomplete counts against
+
+
+def test_overhead_sample_repr_and_stats():
+    sample = run_overhead_experiment(4, n_jobs=2)
+    text = repr(sample)
+    assert "one_by_one" in text and "np=4" in text
+    for which in "mbse":
+        assert sample.max(which) >= sample.mean(which) - 1e-9
+        assert sample.std(which) >= 0.0
+
+
+def test_kernel_thread_repr_and_validation():
+    def body(thread):
+        yield None
+
+    thread = KernelThread("worker", body, cpu=3, priority=42)
+    assert "worker" in repr(thread)
+    assert thread.effective_priority() == 42
+    other = KernelThread("bg", body, cpu=0, policy=SchedPolicy.OTHER,
+                         priority=1)
+    assert other.effective_priority() == 0
+    from repro.simkernel.errors import SchedulingError
+
+    with pytest.raises(SchedulingError):
+        KernelThread("bad", body, priority=0)
+
+
+def test_thread_body_must_be_generator():
+    kernel = Kernel(Topology(1, 1, share_fn=uniform_share))
+
+    def not_a_generator(thread):
+        return 42
+
+    thread = KernelThread("bad", not_a_generator, cpu=0, priority=10)
+    with pytest.raises(TypeError):
+        kernel.spawn(thread)
+
+
+def test_spawn_on_invalid_cpu_rejected():
+    kernel = Kernel(Topology(1, 1, share_fn=uniform_share))
+
+    def body(thread):
+        yield None
+
+    from repro.simkernel.errors import SchedulingError
+
+    with pytest.raises(SchedulingError):
+        kernel.spawn(KernelThread("t", body, cpu=7, priority=10))
+
+
+def test_kill_is_idempotent():
+    kernel = Kernel(Topology(1, 1, share_fn=uniform_share))
+
+    def body(thread):
+        from repro.simkernel import Compute
+
+        yield Compute(100.0)
+
+    thread = kernel.create_thread("t", body, cpu=0, priority=10)
+    kernel.kill(thread)
+    kernel.kill(thread)  # no-op
+    assert thread.state is ThreadState.TERMINATED
+
+
+def test_taskset_repr_and_model_reprs():
+    taskset = TaskSet([PeriodicTask("a", 1, 10)], n_processors=2)
+    assert "M=2" in repr(taskset)
+    parallel = ParallelExtendedImpreciseTask("p", 1, [1, 1], 1, 10)
+    assert "np=2" not in repr(parallel)  # model repr shows class info
+    assert "p" in repr(parallel)
+
+
+def test_load_enum_is_stable():
+    assert [load.value for load in BackgroundLoad] == [
+        "no_load",
+        "cpu_load",
+        "cpu_memory_load",
+    ]

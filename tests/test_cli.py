@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_overheads_command():
+    code, output = run_cli([
+        "overheads", "--np", "8", "--jobs", "3", "--policy", "all_by_all",
+        "--load", "cpu",
+    ])
+    assert code == 0
+    for which in "mbse":
+        assert f"Δ{which}" in output
+    assert "terminated" in output
+
+
+def test_sweep_command_small():
+    code, output = run_cli(["sweep", "--jobs", "2", "--counts", "4,8"])
+    assert code == 0
+    assert "Figure 10" in output
+    assert "Figure 13" in output
+    assert "one_by_one" in output
+
+
+def test_trade_command():
+    code, output = run_cli([
+        "trade", "--seconds", "5", "--seed", "1", "--od-ms", "700",
+    ])
+    assert code == 0
+    assert "trading session" in output
+    assert "deadline_misses" in output
+    assert "equity" in output
+
+
+def test_figures_command():
+    code, output = run_cli(["figures"])
+    assert code == 0
+    assert "Figure 3" in output
+    assert "Figure 8" in output
+    assert "Table I" in output
+    assert "sigsetjmp/siglongjmp" in output
+    # Figure 8's one-by-one row: three threads on every core
+    assert "3" * 57 in output
+
+
+def test_admit_command():
+    code, output = run_cli(["admit", "--cpus", "2", "--tasks", "6"])
+    assert code == 0
+    assert "admission decisions" in output
+    assert "final per-CPU state" in output
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "figures"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "Figure 3" in result.stdout

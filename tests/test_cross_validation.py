@@ -1,0 +1,156 @@
+"""Cross-validation: schedulability analysis vs simulated schedules.
+
+The strongest consistency property the theory substrate offers: if an
+*exact* analysis accepts a task set, simulating it over the hyperperiod
+(the classic critical interval for synchronous fixed-priority task
+sets) must produce zero deadline misses — and the measured worst-case
+response times must never exceed the analytic ones.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import TaskSet, TaskSetGenerator
+from repro.model.optional_deadline import optional_deadlines_rmwp
+from repro.sched import RMWP, ScheduleSimulator
+from repro.sched.analysis import response_time_analysis, rta_schedulable
+
+PERIOD_MENU = [8.0, 12.0, 16.0, 24.0, 48.0]
+
+
+def _generated(seed, utilization, n_tasks=4):
+    generator = TaskSetGenerator(seed=seed, harmonic_periods=PERIOD_MENU)
+    return generator.periodic_task_set(n_tasks, utilization)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    utilization=st.floats(min_value=0.3, max_value=0.95),
+)
+def test_rta_accepted_sets_never_miss_in_simulation(seed, utilization):
+    taskset = _generated(seed, utilization)
+    if not rta_schedulable(taskset.tasks):
+        return
+    result = ScheduleSimulator(taskset, policy="rm").run(
+        until=taskset.hyperperiod
+    )
+    assert result.all_deadlines_met
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    utilization=st.floats(min_value=0.3, max_value=0.95),
+)
+def test_simulated_response_times_bounded_by_rta(seed, utilization):
+    taskset = _generated(seed, utilization)
+    ordered = sorted(taskset.tasks, key=lambda t: (t.period, t.name))
+    if not rta_schedulable(taskset.tasks):
+        return
+    result = ScheduleSimulator(taskset, policy="rm").run(
+        until=taskset.hyperperiod
+    )
+    for index, task in enumerate(ordered):
+        analytic = response_time_analysis(task, ordered[:index])
+        for job in result.jobs_of(task.name):
+            assert job.response_time <= analytic + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    utilization=st.floats(min_value=0.3, max_value=0.9),
+)
+def test_rta_rejected_sets_do_miss_or_analysis_is_conservative(
+    seed, utilization
+):
+    """RTA is exact for synchronous constrained-deadline sets: a rejected
+    set must actually miss a deadline in the synchronous simulation."""
+    taskset = _generated(seed, utilization)
+    if rta_schedulable(taskset.tasks):
+        return
+    result = ScheduleSimulator(taskset, policy="rm").run(
+        until=taskset.hyperperiod
+    )
+    assert not result.all_deadlines_met
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=3_000),
+    utilization=st.floats(min_value=0.3, max_value=0.85),
+)
+def test_rmwp_accepted_sets_never_miss_and_respect_ods(seed, utilization):
+    """RMWP acceptance -> simulated schedule meets every deadline AND
+    every wind-up part starts at (or after the paper's Figure 2 'late
+    mandatory' case) its optional deadline."""
+    generator = TaskSetGenerator(seed=seed, harmonic_periods=PERIOD_MENU)
+    taskset = generator.extended_task_set(3, utilization)
+    if not RMWP.is_schedulable(taskset.tasks):
+        return
+    result = ScheduleSimulator(taskset, policy="rmwp").run(
+        until=taskset.hyperperiod
+    )
+    assert result.all_deadlines_met
+    deadlines = optional_deadlines_rmwp(taskset.tasks)
+    for job in result.jobs:
+        if job.windup_started is None:
+            continue
+        relative_od = deadlines[job.task.name]
+        if job.od_passed_before_mandatory:
+            assert job.windup_started >= job.mandatory_completed - 1e-6
+        else:
+            assert job.windup_started >= job.release + relative_od - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=3_000))
+def test_edf_meets_deadlines_at_full_utilization(seed):
+    """EDF optimality: any implicit-deadline set with U <= 1 simulates
+    cleanly under EDF over the hyperperiod."""
+    generator = TaskSetGenerator(seed=seed, harmonic_periods=PERIOD_MENU)
+    taskset = generator.periodic_task_set(4, 0.98)
+    result = ScheduleSimulator(taskset, policy="edf").run(
+        until=taskset.hyperperiod
+    )
+    assert result.all_deadlines_met
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2_000),
+    utilization=st.floats(min_value=0.2, max_value=0.6),
+)
+def test_optional_parts_never_execute_in_rt_windows(seed, utilization):
+    """NRTQ < RTQ invariant: no optional segment may overlap a
+    mandatory/wind-up segment on the same CPU."""
+    generator = TaskSetGenerator(seed=seed, harmonic_periods=PERIOD_MENU)
+    taskset = generator.extended_task_set(3, utilization)
+    if not RMWP.is_schedulable(taskset.tasks):
+        return
+    result = ScheduleSimulator(taskset, policy="rmwp").run(
+        until=taskset.hyperperiod
+    )
+    from repro.model.job import PartType
+
+    rt_segments = []
+    optional_segments = []
+    for job in result.jobs:
+        for start, end, part, cpu in job.segments:
+            if part is PartType.OPTIONAL:
+                optional_segments.append((start, end, cpu))
+            else:
+                rt_segments.append((start, end, cpu))
+    for o_start, o_end, o_cpu in optional_segments:
+        for r_start, r_end, r_cpu in rt_segments:
+            if o_cpu != r_cpu:
+                continue
+            overlap = min(o_end, r_end) - max(o_start, r_start)
+            assert overlap <= 1e-6, (
+                f"optional [{o_start}, {o_end}] overlaps real-time "
+                f"[{r_start}, {r_end}] on CPU {o_cpu}"
+            )

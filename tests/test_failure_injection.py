@@ -1,0 +1,101 @@
+"""Failure injection: the middleware must fail loudly, not hang.
+
+These tests break protocol invariants on purpose (killed threads, a
+tripped zero-step guard, signals with no handler) and assert that the
+kernel surfaces actionable diagnostics.
+"""
+
+import pytest
+
+from repro.core import RTSeed, WorkloadTask
+from repro.simkernel import (
+    Compute,
+    GetTime,
+    Kernel,
+    Topology,
+)
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.errors import DeadlockError, SyscallError
+from repro.simkernel.syscalls import TimerSettime
+from repro.simkernel.time_units import MSEC, SEC
+from repro.simkernel.timers import KTimer
+
+
+def small_machine():
+    return Topology(4, 4, share_fn=uniform_share, background_weight=0.0)
+
+
+def test_killed_optional_thread_deadlocks_with_diagnosis():
+    """Killing one optional thread mid-run leaves the mandatory thread
+    waiting for a done-count that never arrives; the kernel reports who
+    is stuck and on what."""
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    task = WorkloadTask("tau1", 100 * MSEC, 2 * SEC, 100 * MSEC, 1 * SEC,
+                        n_parallel=2)
+    middleware.add_task(task, n_jobs=2, optional_cpus=[1, 2],
+                        optional_deadline=800 * MSEC)
+    middleware._plan()
+    from repro.core.process import RealTimeProcess
+
+    entry = middleware._entries[0]
+    process = RealTimeProcess(
+        middleware.kernel, task,
+        priority=entry["priority"], cpu=0, optional_cpus=[1, 2],
+        optional_deadline=800 * MSEC, n_jobs=2,
+    ).spawn()
+    middleware.kernel.run(until=1.3 * SEC)  # mid first job's optional
+    victim = process.optional_threads[0]
+    middleware.kernel.kill(victim)
+    with pytest.raises(DeadlockError) as excinfo:
+        middleware.kernel.run_to_completion()
+    assert "tau1-mandatory" in str(excinfo.value)
+
+
+def test_unhandled_signal_is_loud():
+    kernel = Kernel(small_machine())
+
+    def body(thread):
+        timer = KTimer(thread)
+        yield TimerSettime(timer, 10 * MSEC)  # no sigaction installed
+        yield Compute(100 * MSEC)
+
+    kernel.create_thread("t", body, cpu=0, priority=50)
+    with pytest.raises(SyscallError) as excinfo:
+        kernel.run_to_completion()
+    assert "default disposition" in str(excinfo.value)
+
+
+def test_runaway_zero_cost_loop_is_detected():
+    kernel = Kernel(small_machine())
+
+    def spinner(thread):
+        while True:
+            yield GetTime()  # zero-cost forever
+
+    kernel.create_thread("spin", spinner, cpu=0, priority=50)
+    with pytest.raises(SyscallError) as excinfo:
+        kernel.run_to_completion()
+    assert "runaway" in str(excinfo.value)
+
+
+def test_deadlock_names_every_stuck_thread():
+    from repro.simkernel import CondVar, CondWait, Mutex, MutexLock
+
+    kernel = Kernel(small_machine())
+    mutex, cond = Mutex(), CondVar()
+
+    def stuck(thread):
+        yield MutexLock(mutex)
+        yield CondWait(cond, mutex)
+
+    def also_stuck(thread):
+        yield MutexLock(mutex)  # never released by the first waiter?
+        yield CondWait(cond, mutex)
+
+    kernel.create_thread("first", stuck, cpu=0, priority=50)
+    kernel.create_thread("second", also_stuck, cpu=1, priority=50)
+    with pytest.raises(DeadlockError) as excinfo:
+        kernel.run_to_completion()
+    message = str(excinfo.value)
+    assert "first" in message and "second" in message
+    assert len(excinfo.value.blocked_threads) == 2

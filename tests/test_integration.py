@@ -1,0 +1,166 @@
+"""Cross-module integration tests.
+
+These exercise full slices of the stack: offline planning (sched/model)
+feeding the middleware (core) on the simulated machine (simkernel +
+hardware), checked against the reference simulator where both apply.
+"""
+
+import pytest
+
+from repro.core import RTSeed, WorkloadTask
+from repro.hardware.loads import BackgroundLoad
+from repro.model import ParallelExtendedImpreciseTask, TaskSet
+from repro.sched import PRMWP, ScheduleSimulator
+from repro.simkernel import Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC, SEC
+
+
+def machine(n_cores=8, threads_per_core=4):
+    return Topology(n_cores, threads_per_core, share_fn=uniform_share,
+                    background_weight=0.0)
+
+
+def test_partitioned_multi_task_system():
+    """Four tasks partitioned over two CPUs by the P-RMWP plan, then
+    executed by the middleware: all deadlines met, every optional part
+    terminated/completed consistently."""
+    tasks = [
+        WorkloadTask("a", 50 * MSEC, 1 * SEC, 50 * MSEC, 500 * MSEC,
+                     n_parallel=2),
+        WorkloadTask("b", 80 * MSEC, 1 * SEC, 80 * MSEC, 1 * SEC,
+                     n_parallel=2),
+        WorkloadTask("c", 60 * MSEC, 1 * SEC, 60 * MSEC, 800 * MSEC,
+                     n_parallel=2),
+        WorkloadTask("d", 100 * MSEC, 1 * SEC, 100 * MSEC, 2 * SEC,
+                     n_parallel=2),
+    ]
+    plan = PRMWP().plan(
+        TaskSet([t.to_model() for t in tasks], n_processors=2)
+    )
+    cpu_of = {}
+    for cpu, partition in enumerate(plan["partitions"]):
+        for model in partition:
+            cpu_of[model.name] = cpu
+
+    # single-thread cores isolate scheduling semantics from SMT sharing:
+    # mandatory/wind-up parts run at full rate regardless of optional
+    # placement (cores 0-1 real-time, cores 2-7 for optional parts)
+    middleware = RTSeed(topology=machine(8, 1), cost_model="zero")
+    for index, task in enumerate(tasks):
+        base_cpu = cpu_of[task.name]
+        middleware.add_task(
+            task,
+            n_jobs=3,
+            cpu=base_cpu,
+            optional_cpus=[2 + (2 * index) % 6, 3 + (2 * index) % 6],
+        )
+    result = middleware.run()
+    assert result.all_deadlines_met
+    for task in tasks:
+        task_result = result.tasks[task.name]
+        assert len(task_result.probes) == 3
+        fates = task_result.fates
+        assert fates["terminated"] + fates["completed"] + \
+            fates["discarded"] == 6
+
+
+def test_middleware_matches_reference_simulator_timing():
+    """Zero-overhead middleware timing equals the theory simulator's for
+    the always-overrun single-task workload."""
+    n_parallel = 3
+    middleware = RTSeed(topology=machine(), cost_model="zero")
+    task = WorkloadTask("tau1", 250 * MSEC, 1 * SEC, 250 * MSEC, 1 * SEC,
+                        n_parallel=n_parallel)
+    middleware.add_task(task, n_jobs=2, optional_cpus=[0, 4, 8],
+                        optional_deadline=750 * MSEC)
+    mw_result = middleware.run().tasks["tau1"]
+
+    model = ParallelExtendedImpreciseTask(
+        "tau1", 250 * MSEC, [1 * SEC] * n_parallel, 250 * MSEC, 1 * SEC
+    )
+    sim = ScheduleSimulator(
+        TaskSet([model], n_processors=3),
+        policy="rmwp",
+        optional_assignment={"tau1": [0, 1, 2]},
+    ).run(until=2 * SEC, max_jobs_per_task=2)
+
+    for probe, job in zip(mw_result.probes, sim.jobs):
+        # middleware releases start one period late (init phase)
+        offset = probe.release - job.release
+        assert probe.mandatory_end - probe.release == pytest.approx(
+            job.mandatory_completed - job.release
+        )
+        assert probe.windup_start - probe.release == pytest.approx(
+            job.windup_started - job.release
+        )
+        assert probe.optional_time_executed == pytest.approx(
+            job.optional_time_executed
+        )
+
+
+def test_overheads_shift_windup_but_not_od():
+    """With the calibrated cost model, the OD stays put (it is offline)
+    while the wind-up start lags it by Δe."""
+    middleware = RTSeed(load=BackgroundLoad.CPU, seed=1)
+    task = WorkloadTask("tau1", 200 * MSEC, 1 * SEC, 200 * MSEC, 1 * SEC,
+                        n_parallel=8)
+    middleware.add_task(task, n_jobs=3, optional_deadline=750 * MSEC)
+    result = middleware.run().tasks["tau1"]
+    for probe in result.probes:
+        assert probe.od_abs - probe.release == pytest.approx(750 * MSEC)
+        assert probe.windup_start > probe.od_abs
+        assert probe.delta_e > 0
+
+
+def test_load_increases_every_overhead_vs_no_load():
+    def run(load):
+        middleware = RTSeed(load=load, seed=2)
+        task = WorkloadTask("tau1", 200 * MSEC, 1 * SEC, 200 * MSEC,
+                            1 * SEC, n_parallel=8)
+        middleware.add_task(task, n_jobs=3,
+                            optional_deadline=750 * MSEC)
+        return middleware.run().tasks["tau1"]
+
+    quiet = run(BackgroundLoad.NONE)
+    loaded = run(BackgroundLoad.CPU)
+    for which in "mbe":
+        assert loaded.mean_delta_us(which) > quiet.mean_delta_us(which)
+
+
+def test_many_tasks_many_parts_stress():
+    """A wider configuration: 6 tasks x 4 parts on single-thread cores
+    (mandatory on cores 0-5, optional parts oversubscribed on 6-7)."""
+    middleware = RTSeed(topology=machine(8, 1), cost_model="zero")
+    for index in range(6):
+        task = WorkloadTask(
+            f"t{index}", 30 * MSEC, 500 * MSEC, 30 * MSEC, 1 * SEC,
+            n_parallel=4,
+        )
+        middleware.add_task(
+            task,
+            n_jobs=2,
+            cpu=index,
+            optional_cpus=[6, 7, 6, 7],
+        )
+    result = middleware.run()
+    assert result.all_deadlines_met
+    assert len(result.tasks) == 6
+
+
+def test_hyperthread_sharing_degrades_colocated_optional_parts():
+    """SMT-accurate sharing: four parts packed on one core finish less
+    work than four parts spread over four cores."""
+    def published_work(optional_cpus):
+        topology = Topology(4, 4)  # xeon_phi_share by default
+        middleware = RTSeed(topology=topology, cost_model="zero")
+        task = WorkloadTask("t", 50 * MSEC, 2 * SEC, 50 * MSEC, 1 * SEC,
+                            n_parallel=4, chunk=10 * MSEC)
+        middleware.add_task(task, n_jobs=1, optional_cpus=optional_cpus,
+                            optional_deadline=900 * MSEC)
+        result = middleware.run().tasks["t"]
+        return sum(result.probes[0].results.values())
+
+    packed = published_work([0, 1, 2, 3])      # one core
+    spread = published_work([0, 4, 8, 12])     # four cores
+    assert spread > 1.5 * packed

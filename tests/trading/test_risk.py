@@ -1,0 +1,88 @@
+"""Tests for the risk manager."""
+
+import pytest
+
+from repro.trading.broker import Account, OrderSide
+from repro.trading.risk import RiskManager, RiskVerdict
+
+
+def test_allow_within_limits():
+    manager = RiskManager(max_position=1000)
+    account = Account()
+    assert manager.check(account, OrderSide.BUY, 500)
+
+
+def test_block_position_cap():
+    manager = RiskManager(max_position=1000)
+    account = Account()
+    account.apply_fill(OrderSide.BUY, 800, 1.0)
+    decision = manager.check(account, OrderSide.BUY, 300)
+    assert decision.verdict is RiskVerdict.BLOCK
+    assert "cap" in decision.reason
+
+
+def test_reducing_order_allowed_at_cap():
+    manager = RiskManager(max_position=1000)
+    account = Account()
+    account.apply_fill(OrderSide.BUY, 1000, 1.0)
+    assert manager.check(account, OrderSide.SELL, 500)
+
+
+def test_loss_stop_halts_entries():
+    manager = RiskManager(max_loss=100.0)
+    account = Account()
+    account.realized_pnl = -150.0
+    decision = manager.check(account, OrderSide.BUY, 100)
+    assert decision.verdict is RiskVerdict.BLOCK
+    assert manager.halted
+
+
+def test_halted_allows_reduce_only():
+    manager = RiskManager(max_loss=100.0)
+    account = Account()
+    account.apply_fill(OrderSide.BUY, 400, 1.0)
+    account.realized_pnl = -150.0
+    # first check trips the halt
+    manager.check(account, OrderSide.BUY, 100)
+    reduce = manager.check(account, OrderSide.SELL, 200)
+    assert reduce.verdict is RiskVerdict.REDUCE_ONLY
+    # over-reduction (flip) is NOT a reduction
+    flip = manager.check(account, OrderSide.SELL, 600)
+    assert flip.verdict is RiskVerdict.BLOCK
+
+
+def test_drawdown_halt():
+    manager = RiskManager(max_drawdown=0.10)
+    manager.observe_equity(10_000.0)
+    manager.observe_equity(9_500.0)
+    assert not manager.halted
+    manager.observe_equity(8_900.0)  # 11% off the peak
+    assert manager.halted
+    account = Account()
+    assert manager.check(account, OrderSide.BUY, 1).verdict is \
+        RiskVerdict.BLOCK
+
+
+def test_reset_clears_halt():
+    manager = RiskManager(max_drawdown=0.10)
+    manager.observe_equity(10_000.0)
+    manager.observe_equity(8_000.0)
+    assert manager.halted
+    manager.reset()
+    assert not manager.halted
+    assert manager.check(Account(), OrderSide.BUY, 1)
+
+
+def test_non_positive_size_blocked():
+    manager = RiskManager()
+    assert manager.check(Account(), OrderSide.BUY, 0).verdict is \
+        RiskVerdict.BLOCK
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RiskManager(max_position=0)
+    with pytest.raises(ValueError):
+        RiskManager(max_loss=-1)
+    with pytest.raises(ValueError):
+        RiskManager(max_drawdown=1.5)

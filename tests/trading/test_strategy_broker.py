@@ -1,0 +1,155 @@
+"""Tests for decision aggregation and the simulated broker."""
+
+import pytest
+
+from repro.trading.broker import Account, Order, OrderSide, SimBroker
+from repro.trading.feed import Tick
+from repro.trading.indicators import Estimate
+from repro.trading.strategy import Decision, DecisionKind, WeightedVote
+
+
+def est(signal, confidence, name="x"):
+    return Estimate(name, signal, confidence)
+
+
+# ---------------------------------------------------------------------------
+# WeightedVote
+# ---------------------------------------------------------------------------
+
+
+def test_no_estimates_waits():
+    decision = WeightedVote().decide([])
+    assert decision.kind is DecisionKind.WAIT
+    assert decision.n_inputs == 0
+
+
+def test_none_holes_are_discarded_parts():
+    decision = WeightedVote().decide([None, est(0.9, 0.9), None])
+    assert decision.n_inputs == 1
+    assert decision.kind is DecisionKind.BID
+
+
+def test_strong_positive_is_bid():
+    decision = WeightedVote().decide([est(0.8, 0.9), est(0.6, 0.8)])
+    assert decision.kind is DecisionKind.BID
+    assert decision.score > 0.2
+
+
+def test_strong_negative_is_ask():
+    decision = WeightedVote().decide([est(-0.8, 0.9)])
+    assert decision.kind is DecisionKind.ASK
+
+
+def test_weak_score_waits():
+    decision = WeightedVote(entry_threshold=0.5).decide([est(0.3, 0.9)])
+    assert decision.kind is DecisionKind.WAIT
+
+
+def test_low_confidence_waits():
+    """The low-QoS degradation path: barely refined estimates -> WAIT."""
+    decision = WeightedVote(min_confidence=0.5).decide([est(0.9, 0.1)])
+    assert decision.kind is DecisionKind.WAIT
+
+
+def test_confidence_weighting():
+    """A confident bear outvotes an unsure bull."""
+    decision = WeightedVote().decide([est(0.9, 0.1), est(-0.6, 0.9)])
+    assert decision.kind is DecisionKind.ASK
+
+
+def test_vote_validation():
+    with pytest.raises(ValueError):
+        WeightedVote(entry_threshold=2.0)
+    with pytest.raises(ValueError):
+        WeightedVote(min_confidence=-0.1)
+
+
+def test_zero_confidence_inputs_wait():
+    decision = WeightedVote().decide([est(1.0, 0.0)])
+    assert decision.kind is DecisionKind.WAIT
+
+
+# ---------------------------------------------------------------------------
+# Account
+# ---------------------------------------------------------------------------
+
+
+def test_account_open_and_close_long_profit():
+    account = Account(balance=1000.0)
+    account.apply_fill(OrderSide.BUY, 100, 1.10)
+    assert account.position == 100
+    pnl = account.apply_fill(OrderSide.SELL, 100, 1.12)
+    assert pnl == pytest.approx(2.0)
+    assert account.position == 0
+    assert account.balance == pytest.approx(1002.0)
+
+
+def test_account_short_position_profit_on_drop():
+    account = Account()
+    account.apply_fill(OrderSide.SELL, 100, 1.10)
+    pnl = account.apply_fill(OrderSide.BUY, 100, 1.08)
+    assert pnl == pytest.approx(2.0)
+
+
+def test_account_average_price_on_extension():
+    account = Account()
+    account.apply_fill(OrderSide.BUY, 100, 1.00)
+    account.apply_fill(OrderSide.BUY, 100, 1.10)
+    assert account.average_price == pytest.approx(1.05)
+
+
+def test_account_flip_position():
+    account = Account()
+    account.apply_fill(OrderSide.BUY, 100, 1.00)
+    account.apply_fill(OrderSide.SELL, 150, 1.10)
+    assert account.position == -50
+    assert account.average_price == pytest.approx(1.10)
+    assert account.realized_pnl == pytest.approx(10.0)
+
+
+def test_account_unrealized_and_equity():
+    account = Account(balance=1000.0)
+    account.apply_fill(OrderSide.BUY, 100, 1.00)
+    assert account.unrealized_pnl(1.05) == pytest.approx(5.0)
+    assert account.equity(1.05) == pytest.approx(1005.0)
+    assert account.unrealized_pnl(1.00) == pytest.approx(0.0)
+
+
+# ---------------------------------------------------------------------------
+# SimBroker
+# ---------------------------------------------------------------------------
+
+
+def tick(bid=1.0999, ask=1.1001):
+    return Tick(0.0, bid, ask)
+
+
+def test_broker_buys_at_ask_sells_at_bid():
+    broker = SimBroker()
+    buy = broker.submit(0.0, OrderSide.BUY, 100, tick())
+    assert buy.price == pytest.approx(1.1001)
+    sell = broker.submit(1.0, OrderSide.SELL, 100, tick())
+    assert sell.price == pytest.approx(1.0999)
+    # round trip costs the spread
+    assert broker.account.realized_pnl == pytest.approx(-0.02)
+
+
+def test_broker_position_cap():
+    broker = SimBroker(max_position=150)
+    assert broker.submit(0.0, OrderSide.BUY, 100, tick()) is not None
+    assert broker.submit(1.0, OrderSide.BUY, 100, tick()) is None
+    assert broker.rejected == 1
+    assert broker.trade_count == 1
+
+
+def test_broker_summary():
+    broker = SimBroker()
+    broker.submit(0.0, OrderSide.BUY, 100, tick())
+    summary = broker.summary(tick())
+    assert summary["trades"] == 1
+    assert summary["position"] == 100
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        Order(0.0, OrderSide.BUY, 0, 1.0)
