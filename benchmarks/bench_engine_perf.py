@@ -1,0 +1,159 @@
+"""Engine throughput benchmark (BENCH_engine.json).
+
+Measures the hot paths the ``repro.engine`` refactor targets and emits a
+JSON blob suitable for committing as ``BENCH_engine.json``:
+
+* ``fig10_mandatory`` — the Section V-A workload behind
+  ``bench_fig10_mandatory.py``: one task, parallel optional parts, run
+  through the middleware on the simulated kernel.  Reported as kernel
+  events/sec (``Engine.events_processed`` over wall time).
+* ``ablation_schedulability`` — the acceptance-ratio ablation from
+  ``bench_ablation_schedulability.py`` (analysis-only): task sets/sec.
+* ``sched_simulator`` — the theory-level ``ScheduleSimulator`` on a
+  partitioned RMWP task set over its hyperperiod: jobs/sec (each job is
+  several dispatch decisions, so this tracks ready-queue cost directly).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_perf.py [--label after]
+
+Prints the JSON to stdout; redirect or merge by hand into
+``BENCH_engine.json`` (the committed file holds a ``before`` and an
+``after`` section).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.middleware import RTSeed
+from repro.hardware.loads import BackgroundLoad
+from repro.model import TaskSet, TaskSetGenerator
+from repro.sched import GRMWP, PRMWP, RMWP, RateMonotonic, ScheduleSimulator
+
+FIG10_N_PARALLEL = 57
+FIG10_N_JOBS = 60
+
+ABLATION_UTILIZATIONS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+ABLATION_TRIALS = 40
+ABLATION_N_TASKS = 6
+ABLATION_N_CPUS = 4
+
+SIM_N_TASKS = 10
+SIM_N_CPUS = 2
+SIM_UTILIZATION = 0.65
+SIM_REPEATS = 60
+
+
+def bench_fig10():
+    """The bench_fig10_mandatory workload; returns (events, seconds)."""
+    from repro.bench.overheads import (
+        OPTIONAL_DEADLINE,
+        make_eval_task,
+    )
+
+    start = time.perf_counter()
+    middleware = RTSeed(load=BackgroundLoad.NONE, seed=0)
+    task = make_eval_task(FIG10_N_PARALLEL)
+    middleware.add_task(
+        task,
+        n_jobs=FIG10_N_JOBS,
+        cpu=0,
+        policy="one_by_one",
+        optional_deadline=OPTIONAL_DEADLINE,
+    )
+    middleware.run()
+    elapsed = time.perf_counter() - start
+    return middleware.kernel.engine.events_processed, elapsed
+
+
+def bench_ablation():
+    """The schedulability-ablation loop; returns (task sets, seconds)."""
+    algorithms = (
+        lambda ts: RateMonotonic(exact=False).is_schedulable(ts.tasks),
+        lambda ts: RateMonotonic(exact=True).is_schedulable(ts.tasks),
+        lambda ts: RMWP.is_schedulable(ts.tasks),
+        lambda ts: PRMWP(heuristic="first_fit").is_schedulable(
+            TaskSet(ts.tasks, n_processors=ABLATION_N_CPUS)
+        ),
+        lambda ts: PRMWP(heuristic="worst_fit").is_schedulable(
+            TaskSet(ts.tasks, n_processors=ABLATION_N_CPUS)
+        ),
+        lambda ts: GRMWP.is_schedulable(
+            TaskSet(ts.tasks, n_processors=ABLATION_N_CPUS)
+        ),
+    )
+    start = time.perf_counter()
+    n_sets = 0
+    for utilization in ABLATION_UTILIZATIONS:
+        for trial in range(ABLATION_TRIALS):
+            generator = TaskSetGenerator(
+                seed=trial * 7919 + int(utilization * 1000)
+            )
+            taskset = generator.extended_task_set(
+                ABLATION_N_TASKS, utilization
+            )
+            n_sets += 1
+            for accept in algorithms:
+                accept(taskset)
+    return n_sets, time.perf_counter() - start
+
+
+def bench_simulator():
+    """Theory simulator over hyperperiods; returns (jobs, seconds)."""
+    generator = TaskSetGenerator(
+        seed=42, harmonic_periods=[8.0, 16.0, 24.0, 48.0, 96.0]
+    )
+    taskset = generator.extended_task_set(SIM_N_TASKS, SIM_UTILIZATION)
+    taskset = TaskSet(taskset.tasks, n_processors=SIM_N_CPUS)
+    assignment = {
+        task.name: index % SIM_N_CPUS
+        for index, task in enumerate(
+            sorted(taskset.tasks, key=lambda t: (t.period, t.name))
+        )
+    }
+    total_jobs = 0
+    start = time.perf_counter()
+    for _ in range(SIM_REPEATS):
+        simulator = ScheduleSimulator(
+            taskset, policy="rmwp", assignment=assignment
+        )
+        result = simulator.run(until=taskset.hyperperiod)
+        total_jobs += len(result.jobs)
+    return total_jobs, time.perf_counter() - start
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="run")
+    args = parser.parse_args(argv)
+
+    fig10_events, fig10_secs = bench_fig10()
+    ablation_sets, ablation_secs = bench_ablation()
+    sim_jobs, sim_secs = bench_simulator()
+
+    report = {
+        "label": args.label,
+        "fig10_mandatory": {
+            "events": fig10_events,
+            "seconds": round(fig10_secs, 4),
+            "events_per_sec": round(fig10_events / fig10_secs, 1),
+        },
+        "ablation_schedulability": {
+            "task_sets": ablation_sets,
+            "seconds": round(ablation_secs, 4),
+            "task_sets_per_sec": round(ablation_sets / ablation_secs, 1),
+        },
+        "sched_simulator": {
+            "jobs": sim_jobs,
+            "seconds": round(sim_secs, 4),
+            "jobs_per_sec": round(sim_jobs / sim_secs, 1),
+        },
+    }
+    json.dump(report, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -24,8 +24,8 @@ kernel schedule — exactly the "no kernel modifications" claim.
 
 from repro.core.policies import AssignmentPolicy, get_policy
 from repro.core.process import RealTimeProcess
-from repro.core.queues import HPQ_PRIORITY, rtq_priority
 from repro.core.task import Task
+from repro.engine.classes import get_sched_class
 from repro.hardware.loads import BackgroundLoad, apply_load
 from repro.hardware.overheads import XeonPhiCostModel
 from repro.hardware.xeonphi import xeon_phi_topology
@@ -177,7 +177,15 @@ class RTSeed:
         )
 
     def _plan(self):
-        """Offline planning: RM priorities per CPU + optional deadlines."""
+        """Offline planning: RM priorities per CPU + optional deadlines.
+
+        Ordering and band arithmetic are the RMWP band scheduling
+        class's (:class:`repro.engine.classes.RMWPBandClass`) — the same
+        object the theory simulator dispatches through — so "shortest
+        period first, name breaks ties" and the Figure 5 rank-to-level
+        mapping exist exactly once.
+        """
+        sched_class = get_sched_class("rmwp")
         by_cpu = {}
         for entry in self._entries:
             by_cpu.setdefault(entry["cpu"], []).append(entry)
@@ -189,16 +197,17 @@ class RTSeed:
             models = [e["model"] for e in entries if e["model"] is not None]
             deadlines = optional_deadlines_rmwp(models) if models else {}
             ordered = sorted(
-                entries, key=lambda e: (e["task"].period, e["task"].name)
+                entries,
+                key=lambda e: sched_class.task_sort_key(e["task"]),
             )
             rank = 0
             for entry in ordered:
                 model = entry["model"]
                 if (threshold is not None and model is not None
                         and model.utilization > threshold):
-                    entry["priority"] = HPQ_PRIORITY
+                    entry["priority"] = sched_class.hpq_priority
                 else:
-                    entry["priority"] = rtq_priority(rank)
+                    entry["priority"] = sched_class.mandatory_priority(rank)
                     rank += 1
                 if entry["optional_deadline"] is None:
                     entry["optional_deadline"] = deadlines[

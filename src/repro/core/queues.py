@@ -15,68 +15,36 @@ Linux's per-CPU SCHED_FIFO levels:
 * **SQ** — not a priority level: sleeping threads (blocked in
   ``clock_nanosleep`` / ``pthread_cond_wait``) simply are not runnable.
 
-This module owns the arithmetic and the validation; it is deliberately
-free of kernel state.
+The arithmetic and validation are owned by the RMWP band scheduling
+class (:class:`repro.engine.classes.RMWPBandClass`) — it is priority-
+ordering logic, shared with the theory-level simulator — and re-exported
+here under the historical names.  This module adds the kernel-state
+introspection view used by tests and diagnostics.
 """
 
+from repro.engine.classes import (  # noqa: F401  (re-exported API)
+    HPQ_PRIORITY,
+    NRTQ_RANGE,
+    PRIORITY_GAP,
+    RTQ_RANGE,
+    PriorityBandError,
+    classify_priority,
+    nrtq_priority,
+    rtq_priority,
+)
 from repro.simkernel.thread import ThreadState
 
-#: Priority reserved for the highest-priority task (footnote 1).
-HPQ_PRIORITY = 99
-
-#: Mandatory/wind-up (real-time) band, inclusive.
-RTQ_RANGE = (50, 98)
-
-#: Parallel-optional (non-real-time) band, inclusive.
-NRTQ_RANGE = (1, 49)
-
-#: The fixed distance between a task's mandatory and optional priorities.
-PRIORITY_GAP = 49
-
-
-class PriorityBandError(ValueError):
-    """A priority fell outside its designated band."""
-
-
-def rtq_priority(rank):
-    """Priority for the task of RM rank ``rank`` (0 = highest).
-
-    Rank 0 gets 98, rank 1 gets 97, ... down to 50.
-    """
-    priority = RTQ_RANGE[1] - rank
-    if priority < RTQ_RANGE[0]:
-        raise PriorityBandError(
-            f"RM rank {rank} does not fit in the RTQ band {RTQ_RANGE} "
-            f"({RTQ_RANGE[1] - RTQ_RANGE[0] + 1} levels)"
-        )
-    return priority
-
-
-def nrtq_priority(mandatory_priority):
-    """Optional-part priority for a given mandatory priority.
-
-    Section IV-B: "the difference between the priorities of the mandatory
-    and parallel optional threads is 49" — priority 90 maps to 41.
-    """
-    if not RTQ_RANGE[0] <= mandatory_priority <= RTQ_RANGE[1]:
-        raise PriorityBandError(
-            f"mandatory priority {mandatory_priority} outside RTQ band "
-            f"{RTQ_RANGE}"
-        )
-    optional = mandatory_priority - PRIORITY_GAP
-    assert NRTQ_RANGE[0] <= optional <= NRTQ_RANGE[1]
-    return optional
-
-
-def classify_priority(priority):
-    """Which conceptual queue a priority level belongs to."""
-    if priority == HPQ_PRIORITY:
-        return "HPQ"
-    if RTQ_RANGE[0] <= priority <= RTQ_RANGE[1]:
-        return "RTQ"
-    if NRTQ_RANGE[0] <= priority <= NRTQ_RANGE[1]:
-        return "NRTQ"
-    raise PriorityBandError(f"priority {priority} is in no RT-Seed band")
+__all__ = [
+    "HPQ_PRIORITY",
+    "RTQ_RANGE",
+    "NRTQ_RANGE",
+    "PRIORITY_GAP",
+    "PriorityBandError",
+    "classify_priority",
+    "nrtq_priority",
+    "rtq_priority",
+    "ReadyQueueView",
+]
 
 
 class ReadyQueueView:

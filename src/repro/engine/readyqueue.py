@@ -1,0 +1,375 @@
+"""Ready-queue data structures shared by both simulators.
+
+Two disciplines cover every scheduling class in the reproduction:
+
+* :class:`HeapReadyQueue` — a keyed binary heap with lazy removal, for
+  classes whose urgency is an arbitrary totally-ordered key (RM/DM rank
+  tuples, EDF absolute deadlines).  Push/pop are O(log n); removal of an
+  arbitrary entry is O(1) amortized (mark + sweep at the top, with the
+  same half-dead compaction rule the event engine uses).
+* :class:`IndexedLevelQueue` — a fixed range of integer priority levels,
+  each a FIFO :class:`CircularDList`, indexed by a :class:`PriorityBitmap`
+  for O(1) find-highest.  This is the paper's Figure 5 / Linux
+  ``SCHED_FIFO`` structure (double circular linked list per level plus a
+  bitmap), used by the FIFO-99 scheduling class.
+
+Both structures are *policy-free*: ordering semantics live in
+:mod:`repro.engine.classes`.
+"""
+
+import heapq
+
+#: Compaction trigger for lazily-removed heap entries.
+_COMPACT_MIN_REMOVED = 64
+
+
+class ReadyQueueError(Exception):
+    """An invalid ready-queue operation (duplicate enqueue, pop from an
+    empty queue, out-of-range priority level, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# keyed heap with lazy removal
+# ---------------------------------------------------------------------------
+
+
+class HeapReadyQueue:
+    """Priority queue over arbitrary items ordered by ``key(item)``.
+
+    :param key: callable mapping an item to a totally-ordered key;
+        *smaller keys are more urgent*.  The key is evaluated once at
+        push time — callers must remove and re-push an item whose
+        urgency changes (exactly the requeue discipline the kernel uses
+        for priority inheritance).
+
+    Items with equal keys dequeue in FIFO push order (a monotone
+    sequence number breaks ties), which is what makes simultaneous
+    releases deterministic.
+
+    Entries are plain ``(key, seq, item)`` tuples so heap sifts compare
+    at C speed; the unique ``seq`` guarantees the comparison never
+    reaches ``item``.  Removal is lazy: ``_live`` maps ``id(item)`` to
+    the seq of its current entry, and any heap tuple whose seq no longer
+    matches is dead (a dead tuple keeps its item referenced, so the id
+    cannot be recycled into a false match while the tuple exists).
+    """
+
+    def __init__(self, key):
+        self._key = key
+        self._heap = []
+        self._live = {}
+        self._seq = 0
+        self._removed = 0
+
+    def __len__(self):
+        return len(self._live)
+
+    def __bool__(self):
+        return bool(self._live)
+
+    def __contains__(self, item):
+        return id(item) in self._live
+
+    def __iter__(self):
+        """Live items in arbitrary (heap) order — introspection only."""
+        live = self._live
+        for _key, seq, item in self._heap:
+            if live.get(id(item)) == seq:
+                yield item
+
+    def push(self, item):
+        if id(item) in self._live:
+            raise ReadyQueueError(f"{item!r} already enqueued")
+        self._seq += 1
+        self._live[id(item)] = self._seq
+        heapq.heappush(self._heap, (self._key(item), self._seq, item))
+
+    def remove(self, item):
+        """Remove ``item`` from anywhere in the queue (lazy)."""
+        if self._live.pop(id(item), None) is None:
+            raise ReadyQueueError(f"{item!r} not enqueued")
+        self._removed += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self):
+        if self._removed < _COMPACT_MIN_REMOVED:
+            return
+        if self._removed * 2 <= len(self._heap):
+            return
+        live = self._live
+        self._heap = [
+            entry for entry in self._heap
+            if live.get(id(entry[2])) == entry[1]
+        ]
+        heapq.heapify(self._heap)
+        self._removed = 0
+
+    def _sweep_top(self):
+        heap = self._heap
+        live = self._live
+        while heap and live.get(id(heap[0][2])) != heap[0][1]:
+            heapq.heappop(heap)
+            self._removed -= 1
+
+    def peek(self):
+        """Most urgent item, or ``None`` when empty (not removed)."""
+        self._sweep_top()
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def peek_key(self):
+        """Key of the most urgent item, or ``None`` when empty."""
+        self._sweep_top()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self):
+        """Remove and return the most urgent item."""
+        self._sweep_top()
+        if not self._heap:
+            raise ReadyQueueError("pop from empty ready queue")
+        _key, _seq, item = heapq.heappop(self._heap)
+        del self._live[id(item)]
+        return item
+
+    def pop_upto(self, n):
+        """Remove and return up to ``n`` most urgent items (ordered).
+
+        Used by global scheduling to pull the top-M candidates without
+        draining the whole queue; push back the ones that lose the slot.
+        """
+        taken = []
+        while len(taken) < n:
+            self._sweep_top()
+            if not self._heap:
+                break
+            _key, _seq, item = heapq.heappop(self._heap)
+            del self._live[id(item)]
+            taken.append(item)
+        return taken
+
+
+# ---------------------------------------------------------------------------
+# indexed integer-priority levels (Figure 5 / SCHED_FIFO)
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    """Intrusive list node; one per enqueued thread."""
+
+    __slots__ = ("value", "prev", "next", "owner")
+
+    def __init__(self, value):
+        self.value = value
+        self.prev = None
+        self.next = None
+        self.owner = None
+
+
+class CircularDList:
+    """Double circular linked list with O(1) push/pop at both ends.
+
+    Mirrors the kernel's per-priority FIFO list: new runnable threads go
+    to the tail; a preempted thread returns to the head (SCHED_FIFO
+    semantics — it resumes before equal-priority peers).
+    """
+
+    def __init__(self):
+        self._head = None
+        self._len = 0
+        self._nodes = {}
+
+    def __len__(self):
+        return self._len
+
+    def __bool__(self):
+        return self._len > 0
+
+    def __iter__(self):
+        node = self._head
+        for _ in range(self._len):
+            yield node.value
+            node = node.next
+
+    def __contains__(self, value):
+        return id(value) in self._nodes
+
+    def _insert_before(self, node, anchor):
+        node.prev = anchor.prev
+        node.next = anchor
+        anchor.prev.next = node
+        anchor.prev = node
+
+    def push_tail(self, value):
+        """Append ``value`` at the tail (normal enqueue)."""
+        if id(value) in self._nodes:
+            raise ReadyQueueError(f"{value!r} already enqueued")
+        node = _Node(value)
+        node.owner = self
+        self._nodes[id(value)] = node
+        if self._head is None:
+            node.prev = node.next = node
+            self._head = node
+        else:
+            self._insert_before(node, self._head)
+        self._len += 1
+
+    def push_head(self, value):
+        """Insert ``value`` at the head (a preempted thread returning)."""
+        self.push_tail(value)
+        self._head = self._head.prev
+
+    def peek_head(self):
+        """Return the head value without removing it (``None`` if empty)."""
+        return self._head.value if self._head else None
+
+    def pop_head(self):
+        """Remove and return the head value."""
+        if self._head is None:
+            raise ReadyQueueError("pop from empty list")
+        value = self._head.value
+        self.remove(value)
+        return value
+
+    def remove(self, value):
+        """Remove ``value`` from anywhere in the list in O(1)."""
+        node = self._nodes.pop(id(value), None)
+        if node is None:
+            raise ReadyQueueError(f"{value!r} not in list")
+        if self._len == 1:
+            self._head = None
+        else:
+            node.prev.next = node.next
+            node.next.prev = node.prev
+            if self._head is node:
+                self._head = node.next
+        node.prev = node.next = None
+        node.owner = None
+        self._len -= 1
+
+
+class PriorityBitmap:
+    """Bitmap over priority levels with O(1) find-highest.
+
+    Python integers are arbitrary-precision, so a single int serves as the
+    bitmap; ``int.bit_length`` gives the highest set bit directly.
+    """
+
+    def __init__(self):
+        self._bits = 0
+
+    def set(self, prio):
+        self._bits |= 1 << prio
+
+    def clear(self, prio):
+        self._bits &= ~(1 << prio)
+
+    def is_set(self, prio):
+        return bool(self._bits >> prio & 1)
+
+    def highest(self):
+        """Highest set priority, or ``None`` when the bitmap is empty."""
+        if self._bits == 0:
+            return None
+        return self._bits.bit_length() - 1
+
+    def __bool__(self):
+        return self._bits != 0
+
+
+class IndexedLevelQueue:
+    """Ready queue over integer priority levels, larger = more urgent.
+
+    One FIFO :class:`CircularDList` per level plus a
+    :class:`PriorityBitmap` for O(1) lookup of the highest non-empty
+    level — the structure of the paper's Figure 5 and of Linux's rt
+    scheduling class.
+
+    :param min_prio: lowest valid level (inclusive).
+    :param max_prio: highest valid level (inclusive).
+    :param cpu_id: owning CPU, for diagnostics.
+    """
+
+    def __init__(self, min_prio, max_prio, cpu_id=0):
+        self.cpu_id = cpu_id
+        self.min_prio = min_prio
+        self.max_prio = max_prio
+        self._levels = [CircularDList() for _ in range(max_prio + 1)]
+        self._bitmap = PriorityBitmap()
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    def __bool__(self):
+        return self._count > 0
+
+    def __iter__(self):
+        """Items highest level first, FIFO within a level."""
+        for prio in range(self.max_prio, self.min_prio - 1, -1):
+            if self._bitmap.is_set(prio):
+                yield from self._levels[prio]
+
+    def _check_prio(self, prio):
+        if not self.min_prio <= prio <= self.max_prio:
+            raise ReadyQueueError(
+                f"priority {prio} outside level range "
+                f"[{self.min_prio}, {self.max_prio}]"
+            )
+
+    def enqueue(self, item, prio, at_head=False):
+        """Make ``item`` ready at ``prio``.
+
+        ``at_head=True`` reproduces SCHED_FIFO's rule that a *preempted*
+        thread goes back to the head of its level; a newly woken thread
+        goes to the tail.
+        """
+        self._check_prio(prio)
+        level = self._levels[prio]
+        if at_head:
+            level.push_head(item)
+        else:
+            level.push_tail(item)
+        self._bitmap.set(prio)
+        self._count += 1
+
+    def dequeue(self, item, prio):
+        """Remove a specific item (e.g. a thread killed while ready)."""
+        self._check_prio(prio)
+        level = self._levels[prio]
+        level.remove(item)
+        if not level:
+            self._bitmap.clear(prio)
+        self._count -= 1
+
+    def peek(self):
+        """``(item, prio)`` of the most urgent ready item, or ``None``."""
+        prio = self._bitmap.highest()
+        if prio is None:
+            return None
+        return self._levels[prio].peek_head(), prio
+
+    def pop(self):
+        """Remove and return ``(item, prio)`` of the most urgent item."""
+        prio = self._bitmap.highest()
+        if prio is None:
+            raise ReadyQueueError(
+                f"run queue of CPU {self.cpu_id} empty"
+            )
+        level = self._levels[prio]
+        item = level.pop_head()
+        if not level:
+            self._bitmap.clear(prio)
+        self._count -= 1
+        return item, prio
+
+    def highest_priority(self):
+        """Priority of the most urgent ready item, or ``None``."""
+        return self._bitmap.highest()
+
+    def items_at(self, prio):
+        """Snapshot (list) of items queued at ``prio``, head first."""
+        self._check_prio(prio)
+        return list(self._levels[prio])

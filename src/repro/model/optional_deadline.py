@@ -25,6 +25,7 @@ unchanged in the *parallel*-extended model: parallel optional parts never
 interfere with mandatory/wind-up parts, so the analysis carries over.
 """
 
+from repro.engine.classes import get_sched_class
 from repro.model.task_model import PeriodicTask
 
 
@@ -91,7 +92,7 @@ def optional_deadlines_rmwp(tasks):
     :returns: dict mapping task name to relative optional deadline.
     :raises OptionalDeadlineError: if any wind-up part is unschedulable.
     """
-    ordered = sorted(tasks, key=lambda t: (t.period, t.name))
+    ordered = get_sched_class("rm").priority_order(tasks)
     deadlines = {}
     for index, task in enumerate(ordered):
         higher = ordered[:index]

@@ -14,6 +14,8 @@ classic fixed-priority assignments beyond RM:
 
 import math
 
+from repro.engine.classes import get_sched_class
+
 
 class DeadlineMonotonic:
     """DM priority assignment + exact schedulability."""
@@ -23,8 +25,9 @@ class DeadlineMonotonic:
     @staticmethod
     def priority_order(tasks):
         """Tasks from highest to lowest DM priority (shortest relative
-        deadline first; name breaks ties)."""
-        return sorted(tasks, key=lambda t: (t.deadline, t.name))
+        deadline first; name breaks ties).  Delegates to the shared
+        scheduling class."""
+        return get_sched_class("dm").priority_order(tasks)
 
     @staticmethod
     def is_schedulable(tasks):

@@ -7,6 +7,8 @@ here as the canonical dynamic-priority comparator for the schedulability
 ablations.
 """
 
+from repro.engine.classes import get_sched_class
+
 
 class EarliestDeadlineFirst:
     """EDF schedulability for implicit/constrained deadline task sets."""
@@ -28,4 +30,4 @@ class EarliestDeadlineFirst:
     def priority_order(tasks):
         """EDF has no static order; ties are resolved per job at runtime.
         Returns tasks sorted by deadline for display purposes only."""
-        return sorted(tasks, key=lambda t: (t.deadline, t.name))
+        return get_sched_class("edf").priority_order(tasks)

@@ -27,7 +27,7 @@ class GRMWP:
     def priority_order(tasks, n_processors):
         """Heavy (RM-US) tasks first, then light tasks in RM order."""
         heavy, light = rm_us_priorities(tasks, n_processors)
-        return sorted(heavy, key=lambda t: (t.period, t.name)) + light
+        return RateMonotonic.priority_order(heavy) + light
 
     @staticmethod
     def is_schedulable(taskset):

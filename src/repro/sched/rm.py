@@ -5,6 +5,7 @@ as one block at its RM priority (Figure 3, left curve); there is no
 optional part and no sleep until the optional deadline.
 """
 
+from repro.engine.classes import get_sched_class
 from repro.sched.analysis import (
     hyperbolic_bound,
     liu_layland_schedulable,
@@ -27,8 +28,9 @@ class RateMonotonic:
     @staticmethod
     def priority_order(tasks):
         """Tasks from highest to lowest RM priority (shortest period
-        first; name breaks ties deterministically)."""
-        return sorted(tasks, key=lambda t: (t.period, t.name))
+        first; name breaks ties deterministically).  Delegates to the
+        shared scheduling class so the rule exists exactly once."""
+        return get_sched_class("rm").priority_order(tasks)
 
     @staticmethod
     def assign_priorities(tasks, highest=99, lowest=1):

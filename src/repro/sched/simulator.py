@@ -17,10 +17,34 @@ the Figure 6 protocol instead, where an early-completing optional part
 wakes the mandatory thread immediately; the two coincide whenever
 optional parts overrun (as in the paper's evaluation) and the difference
 is covered by tests.
+
+Architecture
+------------
+
+The simulator is a thin driver over the shared scheduling core
+(:mod:`repro.engine`):
+
+* timed events (job releases, optional deadlines) run through the same
+  :class:`repro.engine.events.Engine` the kernel DES uses;
+* ready queues are created by a pluggable
+  :class:`repro.engine.classes.SchedClass` (heap-backed for RM/DM/EDF/
+  RMWP, bitmap-indexed FIFO levels for SCHED_FIFO), so dispatch costs
+  O(log n) instead of re-scanning/-sorting the ready list per event;
+* all priority-ordering logic — including the RMWP band rule that every
+  mandatory/wind-up part outranks every optional part — lives in the
+  scheduling class, shared verbatim with the RT-Seed middleware planner
+  and the kernel dispatcher.
+
+The driver owns only what is genuinely *simulation*: job lifecycle,
+part transitions at the two RMWP priority-change points, execution-time
+charging, and migration bookkeeping.
 """
 
-import heapq
+from functools import partial
 
+from repro.engine.classes import NRT_BAND, RT_BAND, get_sched_class, \
+    rtq_priority
+from repro.engine.events import Engine
 from repro.model.job import Job, JobOutcome, OptionalPartRecord, PartType
 from repro.model.optional_deadline import optional_deadlines_rmwp
 from repro.model.task_model import (
@@ -30,19 +54,28 @@ from repro.model.task_model import (
 
 _EPSILON = 1e-6
 
-#: Priority bands (Figure 4): every RTQ task outranks every NRTQ task.
-_RT_BAND = 1
-_NRT_BAND = 0
+#: Event-queue tie priorities: releases before optional deadlines at the
+#: same instant (matches the historical (time, kind, seq) ordering).
+_RELEASE_EVENT_PRIO = 0
+_OD_EVENT_PRIO = 1
+
+#: Policies that schedule whole ``C = m + w`` jobs (no parts).
+_WHOLE_JOB_POLICIES = ("rm", "dm", "edf", "fifo")
 
 
 class _Item:
-    """One schedulable strand (a part of a job, or a whole L&L job)."""
+    """One schedulable strand (a part of a job, or a whole L&L job).
+
+    The runtime entity the scheduling classes order: exposes ``band``,
+    ``rank``, ``part_index``, ``job`` (part-item contract) and
+    ``priority`` (SCHED_FIFO contract, used by the ``fifo`` policy).
+    """
 
     __slots__ = ("job", "part", "part_index", "remaining", "cpu", "band",
-                 "rank", "started", "record", "seg_start")
+                 "rank", "priority", "started", "record", "seg_start")
 
     def __init__(self, job, part, remaining, cpu, band, rank,
-                 part_index=None, record=None):
+                 part_index=None, record=None, priority=0):
         self.job = job
         self.part = part
         self.part_index = part_index
@@ -50,19 +83,10 @@ class _Item:
         self.cpu = cpu
         self.band = band
         self.rank = rank
+        self.priority = priority
         self.started = False
         self.record = record
         self.seg_start = None
-
-    def priority_key(self):
-        """Smaller sorts first: (band desc, rank asc, release, name)."""
-        return (
-            -self.band,
-            self.rank,
-            self.job.release,
-            self.job.task.name,
-            self.part_index if self.part_index is not None else -1,
-        )
 
     def __repr__(self):
         return (
@@ -75,10 +99,11 @@ class _Item:
 class SimulationResult:
     """Outcome of a simulation run."""
 
-    def __init__(self, jobs, horizon, migrations=0):
+    def __init__(self, jobs, horizon, migrations=0, events_processed=0):
         self.jobs = jobs
         self.horizon = horizon
         self.migrations = migrations
+        self.events_processed = events_processed
 
     @property
     def deadline_misses(self):
@@ -143,13 +168,50 @@ class SimulationResult:
         )
 
 
+class _ReadySet:
+    """Ready items, organized as the scheduling class dictates.
+
+    Partitioned mode: one queue per CPU (all bands — the class's key
+    puts every RT-band item ahead of every NRT-band item).  Global mode:
+    RT-band items share one migration-eligible queue; NRT-band items
+    (parallel optional parts, pinned per Section II-A) stay per-CPU.
+    """
+
+    def __init__(self, sched_class, n_cpus, global_rt=False):
+        self.sched_class = sched_class
+        self.n_cpus = n_cpus
+        self.global_rt = global_rt
+        self.cpu_queues = [
+            sched_class.make_queue(cpu) for cpu in range(n_cpus)
+        ]
+        self.rt_queue = sched_class.make_queue() if global_rt else None
+
+    def _queue_of(self, item):
+        if self.global_rt and item.band == RT_BAND:
+            return self.rt_queue
+        return self.cpu_queues[item.cpu]
+
+    def add(self, item, at_head=False):
+        self.sched_class.enqueue(self._queue_of(item), item,
+                                 at_head=at_head)
+
+    def remove(self, item):
+        self.sched_class.dequeue(self._queue_of(item), item)
+
+    def __contains__(self, item):
+        return item in self._queue_of(item)
+
+
 class ScheduleSimulator:
     """Preemptive priority-driven schedule simulation.
 
     :param taskset: a :class:`~repro.model.task_model.TaskSet`.
-    :param policy: ``"rm"`` (general scheduling — whole ``C = m + w`` at
-        RM priority), ``"edf"``, or ``"rmwp"`` (semi-fixed-priority with
-        parts).
+    :param policy: a scheduling-class name — ``"rm"`` (general
+        scheduling — whole ``C = m + w`` at RM priority), ``"dm"``
+        (deadline monotonic), ``"edf"``, ``"fifo"`` (SCHED_FIFO levels;
+        see ``priorities``), or ``"rmwp"`` (semi-fixed-priority with
+        parts) — or any :class:`~repro.engine.classes.SchedClass`
+        instance.
     :param assignment: task name -> CPU (partitioned).  Defaults to CPU 0
         for every task.
     :param optional_assignment: task name -> list of CPUs for its parallel
@@ -161,16 +223,28 @@ class ScheduleSimulator:
     :param optional_deadlines: task name -> relative OD.  Computed with
         :func:`~repro.model.optional_deadline.optional_deadlines_rmwp`
         per partition when omitted.
+    :param priorities: for ``policy="fifo"``: task name -> SCHED_FIFO
+        level in [1, 99], larger more urgent.  Defaults to the
+        middleware's Figure 5 plan (RM rank mapped into the RTQ band),
+        so the theory level replays exactly what RT-Seed programs into
+        the kernel.
     """
 
     def __init__(self, taskset, policy="rmwp", assignment=None,
                  optional_assignment=None, global_sched=False,
-                 optional_deadlines=None):
-        if policy not in ("rm", "edf", "rmwp"):
-            raise ValueError(f"unknown policy {policy!r}")
+                 optional_deadlines=None, priorities=None):
+        self.sched_class = get_sched_class(policy)
+        # Custom SchedClass instances run in whole-job mode; only the
+        # registered "rmwp" class triggers part-level semantics.
+        self.policy = {"fifo99": "fifo"}.get(self.sched_class.name,
+                                             self.sched_class.name)
         self.taskset = taskset
-        self.policy = policy
         self.global_sched = global_sched
+        if global_sched and self.policy == "fifo":
+            raise ValueError(
+                "global scheduling needs a keyed-heap class; SCHED_FIFO "
+                "run queues are per-CPU"
+            )
         self.n_cpus = taskset.n_processors
         self.assignment = dict(assignment or {})
         for task in taskset:
@@ -180,7 +254,7 @@ class ScheduleSimulator:
                 raise ValueError(f"{name}: CPU {cpu} out of range")
         self.optional_assignment = dict(optional_assignment or {})
 
-        if policy == "rmwp":
+        if self.policy == "rmwp":
             for task in taskset:
                 if not isinstance(task, (ExtendedImpreciseTask,
                                          ParallelExtendedImpreciseTask)):
@@ -193,10 +267,28 @@ class ScheduleSimulator:
         else:
             self.optional_deadlines = {}
 
-        # RM rank (0 = highest) per task, computed over the whole set so
-        # ranks are stable across partitions.
-        ordered = sorted(taskset.tasks, key=lambda t: (t.period, t.name))
-        self._rm_rank = {t.name: i for i, t in enumerate(ordered)}
+        # Static rank (0 = highest) per task, computed by the scheduling
+        # class over the whole set so ranks are stable across partitions.
+        # EDF ignores ranks at runtime (its key is the job deadline);
+        # FIFO orders by explicit priorities instead (below).
+        if self.policy == "fifo":
+            self._rank = {}
+        else:
+            try:
+                self._rank = self.sched_class.rank(taskset.tasks)
+            except NotImplementedError:
+                self._rank = {}
+
+        if self.policy == "fifo":
+            if priorities is None:
+                rm_rank = get_sched_class("rm").rank(taskset.tasks)
+                priorities = {
+                    name: rtq_priority(rank)
+                    for name, rank in rm_rank.items()
+                }
+            self._priorities = dict(priorities)
+        else:
+            self._priorities = {}
 
     def _compute_optional_deadlines(self):
         if self.global_sched:
@@ -210,6 +302,103 @@ class ScheduleSimulator:
         return deadlines
 
     # ------------------------------------------------------------------
+    # timed-event handlers (run through the shared engine)
+    # ------------------------------------------------------------------
+
+    def _on_release(self, task, index):
+        if (self._max_jobs_per_task is not None
+                and index >= self._max_jobs_per_task):
+            return
+        release = index * task.period
+        if release > self._horizon - _EPSILON:
+            return
+        job = self._make_job(task, index, release)
+        self._jobs.append(job)
+        self._ready.add(self._initial_item(job))
+        if job.optional_deadline is not None:
+            self._engine.schedule_at(
+                job.optional_deadline,
+                partial(self._on_od, job),
+                priority=_OD_EVENT_PRIO,
+            )
+        self._engine.schedule_at(
+            (index + 1) * task.period,
+            partial(self._on_release, task, index + 1),
+            priority=_RELEASE_EVENT_PRIO,
+        )
+
+    def _on_od(self, job):
+        """The optional deadline: terminate optional parts, release the
+        wind-up (the second RMWP priority-change point)."""
+        time = self._time
+        running = self._running
+        if job.mandatory_completed is None:
+            # Figure 2, tau2: mandatory overran its optional deadline;
+            # the wind-up runs at mandatory completion, no optional.
+            job.od_passed_before_mandatory = True
+            return
+        if job.windup_released is not None:
+            return
+        # Terminate running/ready optional items of this job.
+        for cpu, item in enumerate(running):
+            if item is not None and item.job is job \
+                    and item.part is PartType.OPTIONAL:
+                self._finish_optional_part(item, time, "terminated")
+                running[cpu] = None
+        for item in getattr(job, "ready_optional_items", ()):
+            if item in self._ready:
+                fate = "terminated" if item.started else "discarded"
+                self._finish_optional_part(item, time, fate)
+                self._ready.remove(item)
+        job.ready_optional_items = []
+        self._release_windup(job, time)
+
+    # ------------------------------------------------------------------
+    # part lifecycle
+    # ------------------------------------------------------------------
+
+    def _release_windup(self, job, time):
+        job.windup_released = time
+        self._ready.add(
+            _Item(job, PartType.WINDUP, job.task.windup,
+                  self.assignment[job.task.name], RT_BAND,
+                  self._rank_of(job))
+        )
+
+    def _finish_optional_part(self, item, time, fate):
+        record = item.record
+        record.ended_at = time
+        record.fate = fate
+        record.executed = (
+            self._optional_length(item) - max(item.remaining, 0.0)
+        )
+
+    def _complete_item(self, item, time):
+        job = item.job
+        if item.part is PartType.WHOLE:
+            job.completed = time
+        elif item.part is PartType.MANDATORY:
+            job.mandatory_completed = time
+            if getattr(job, "od_passed_before_mandatory", False):
+                for record in job.optional_parts:
+                    record.fate = "discarded"
+                    record.ended_at = time
+                self._release_windup(job, time)
+            else:
+                self._release_optional(job, time)
+                if not job.optional_parts:
+                    # no optional work: sleep in SQ until the OD
+                    pass
+        elif item.part is PartType.OPTIONAL:
+            self._finish_optional_part(item, time, "completed")
+            # RMWP semantics: even when every optional part completes
+            # early the task sleeps until its optional deadline; the
+            # wind-up item is created by _on_od.
+        elif item.part is PartType.WINDUP:
+            job.windup_completed = time
+            job.completed = time
+
+    # ------------------------------------------------------------------
 
     def run(self, until=None, max_jobs_per_task=None):
         """Simulate the schedule.
@@ -219,99 +408,40 @@ class ScheduleSimulator:
         :returns: :class:`SimulationResult`.
         """
         horizon = until if until is not None else self.taskset.hyperperiod
-        jobs = []
-        ready = []
-        running = [None] * self.n_cpus
-        migrations = 0
-        #: (time, kind, payload) kernel of future state changes; kind 0 =
-        #: release (task), kind 1 = optional deadline (job).
-        event_heap = []
-        seq = 0
+        self._horizon = horizon
+        self._max_jobs_per_task = max_jobs_per_task
+        self._jobs = []
+        self._ready = _ReadySet(self.sched_class, self.n_cpus,
+                                global_rt=self.global_sched)
+        self._running = [None] * self.n_cpus
+        self._migrations = 0
+        self._engine = Engine()
+        self._time = 0.0
 
         for task in self.taskset:
-            heapq.heappush(event_heap, (0.0, 0, seq, ("release", task, 0)))
-            seq += 1
-
-        def rank_of(job):
-            if self.policy == "edf":
-                return job.deadline
-            return self._rm_rank[job.task.name]
-
-        def make_windup_item(job):
-            return _Item(job, PartType.WINDUP, job.task.windup,
-                         self.assignment[job.task.name], _RT_BAND,
-                         rank_of(job))
-
-        def release_windup(job, time):
-            job.windup_released = time
-            ready.append(make_windup_item(job))
-
-        def finish_optional_part(item, time, fate):
-            record = item.record
-            record.ended_at = time
-            record.fate = fate
-            record.executed = (
-                self._optional_length(item) - max(item.remaining, 0.0)
+            self._engine.schedule_at(
+                0.0, partial(self._on_release, task, 0),
+                priority=_RELEASE_EVENT_PRIO,
             )
 
-        def handle_od(job, time):
-            if job.mandatory_completed is None:
-                # Figure 2, tau2: mandatory overran its optional deadline;
-                # the wind-up runs at mandatory completion, no optional.
-                job.od_passed_before_mandatory = True
-                return
-            if job.windup_released is not None:
-                return
-            # Terminate running/ready optional items of this job.
-            for cpu, item in enumerate(running):
-                if item is not None and item.job is job \
-                        and item.part is PartType.OPTIONAL:
-                    finish_optional_part(item, time, "terminated")
-                    running[cpu] = None
-            for item in list(ready):
-                if item.job is job and item.part is PartType.OPTIONAL:
-                    fate = "terminated" if item.started else "discarded"
-                    finish_optional_part(item, time, fate)
-                    ready.remove(item)
-            release_windup(job, time)
-
-        def complete_item(item, time):
-            job = item.job
-            if item.part is PartType.WHOLE:
-                job.completed = time
-            elif item.part is PartType.MANDATORY:
-                job.mandatory_completed = time
-                if getattr(job, "od_passed_before_mandatory", False):
-                    for record in job.optional_parts:
-                        record.fate = "discarded"
-                        record.ended_at = time
-                    release_windup(job, time)
-                else:
-                    self._release_optional(job, time, ready, rank_of)
-                    if not job.optional_parts:
-                        # no optional work: sleep in SQ until the OD
-                        pass
-            elif item.part is PartType.OPTIONAL:
-                finish_optional_part(item, time, "completed")
-                # RMWP semantics: even when every optional part completes
-                # early the task sleeps until its optional deadline; the
-                # wind-up item is created by handle_od.
-            elif item.part is PartType.WINDUP:
-                job.windup_completed = time
-                job.completed = time
-
+        jobs = self._jobs
+        running = self._running
+        engine = self._engine
+        peek_event = engine.peek_time
+        step_event = engine.step
         time = 0.0
         while True:
             # -- next state-change time ---------------------------------
-            candidates = []
-            if event_heap:
-                candidates.append(event_heap[0][0])
+            next_event = peek_event()
+            earliest = next_event
             for item in running:
                 if item is not None:
-                    candidates.append(time + item.remaining)
-            if not candidates:
+                    completion = time + item.remaining
+                    if earliest is None or completion < earliest:
+                        earliest = completion
+            if earliest is None:
                 break
-            next_time = max(min(candidates), time)
+            next_time = earliest if earliest > time else time
             if next_time > horizon + _EPSILON:
                 # close open execution at the horizon
                 for cpu, item in enumerate(running):
@@ -335,48 +465,32 @@ class ScheduleSimulator:
                         time, next_time, item.part, cpu
                     )
             time = next_time
+            self._time = time
 
             # -- completions ---------------------------------------------
             for cpu, item in enumerate(running):
                 if item is not None and item.remaining <= _EPSILON:
                     running[cpu] = None
-                    complete_item(item, time)
+                    self._complete_item(item, time)
 
             # -- timed events (releases, optional deadlines) -------------
-            while event_heap and event_heap[0][0] <= time + _EPSILON:
-                _, _, _, payload = heapq.heappop(event_heap)
-                if payload[0] == "release":
-                    _, task, index = payload
-                    if (max_jobs_per_task is not None
-                            and index >= max_jobs_per_task):
-                        continue
-                    release = index * task.period
-                    if release > horizon - _EPSILON:
-                        continue
-                    job = self._make_job(task, index, release)
-                    jobs.append(job)
-                    ready.append(self._initial_item(job, rank_of))
-                    if job.optional_deadline is not None:
-                        heapq.heappush(
-                            event_heap,
-                            (job.optional_deadline, 1, seq, ("od", job)),
-                        )
-                        seq += 1
-                    heapq.heappush(
-                        event_heap,
-                        ((index + 1) * task.period, 0, seq,
-                         ("release", task, index + 1)),
-                    )
-                    seq += 1
-                elif payload[0] == "od":
-                    handle_od(payload[1], time)
+            due = time + _EPSILON
+            while next_event is not None and next_event <= due:
+                step_event()
+                next_event = peek_event()
 
             # -- (re)allocate CPUs ---------------------------------------
-            migrations += self._allocate(ready, running, time)
+            self._allocate(time)
 
-        return SimulationResult(jobs, horizon, migrations=migrations)
+        return SimulationResult(
+            jobs, horizon, migrations=self._migrations,
+            events_processed=engine.events_processed,
+        )
 
     # ------------------------------------------------------------------
+
+    def _rank_of(self, job):
+        return self._rank.get(job.task.name, 0)
 
     def _make_job(self, task, index, release):
         relative_od = self.optional_deadlines.get(task.name)
@@ -407,38 +521,43 @@ class ScheduleSimulator:
                 )
         return job
 
-    def _initial_item(self, job, rank_of):
+    def _initial_item(self, job):
         cpu = self.assignment[job.task.name]
         if self.policy == "rmwp":
             return _Item(job, PartType.MANDATORY, job.task.mandatory, cpu,
-                         _RT_BAND, rank_of(job))
-        return _Item(job, PartType.WHOLE, job.task.wcet, cpu, _RT_BAND,
-                     rank_of(job))
+                         RT_BAND, self._rank_of(job))
+        return _Item(job, PartType.WHOLE, job.task.wcet, cpu, RT_BAND,
+                     self._rank_of(job),
+                     priority=self._priorities.get(job.task.name, 0))
 
-    def _release_optional(self, job, time, ready, rank_of):
+    def _release_optional(self, job, time):
+        """Mandatory completion: the first RMWP priority-change point —
+        the job's parallel optional parts drop to the NRT band."""
         task = job.task
         optionals = getattr(task, "optionals", None)
         if optionals is None:
             optionals = [task.optional] if task.optional > 0 else []
+        items = []
         for record in job.optional_parts:
             length = optionals[record.index]
             if length <= 0:
                 record.fate = "completed"
                 record.ended_at = time
                 continue
-            ready.append(
-                _Item(job, PartType.OPTIONAL, length, record.cpu,
-                      _NRT_BAND, rank_of(job), part_index=record.index,
-                      record=record)
-            )
+            item = _Item(job, PartType.OPTIONAL, length, record.cpu,
+                         NRT_BAND, self._rank_of(job),
+                         part_index=record.index, record=record)
+            items.append(item)
+            self._ready.add(item)
+        job.ready_optional_items = items
 
-    def _allocate(self, ready, running, time):
-        """Pick what runs where.  Returns the number of migrations."""
-        migrations = 0
+    def _allocate(self, time):
+        """Pick what runs where (through the scheduling class)."""
+        running = self._running
         if self.global_sched:
-            migrations += self._allocate_global(ready, running, time)
+            self._allocate_global()
         else:
-            self._allocate_partitioned(ready, running, time)
+            self._allocate_partitioned()
         # stamp start bookkeeping
         for cpu, item in enumerate(running):
             if item is None:
@@ -460,7 +579,6 @@ class ScheduleSimulator:
                 item.record.executed = (
                     self._optional_length(item) - item.remaining
                 )
-        return migrations
 
     @staticmethod
     def _optional_length(item):
@@ -470,46 +588,54 @@ class ScheduleSimulator:
             return task.optional
         return optionals[item.part_index]
 
-    def _allocate_partitioned(self, ready, running, time):
-        for cpu in range(self.n_cpus):
-            candidates = [i for i in ready if i.cpu == cpu]
+    def _allocate_partitioned(self):
+        sched_class = self.sched_class
+        pick_next = sched_class.pick_next
+        check_preempt = sched_class.check_preempt
+        running = self._running
+        for cpu, queue in enumerate(self._ready.cpu_queues):
             current = running[cpu]
-            if current is not None:
-                candidates.append(current)
-            if not candidates:
-                continue
-            best = min(candidates, key=lambda i: i.priority_key())
-            if best is not current:
-                if current is not None:
-                    # preempted: close its optional-progress accounting
-                    self._account_optional(current)
-                    ready.append(current)
-                ready.remove(best)
-                running[cpu] = best
+            if current is None:
+                if queue:
+                    running[cpu] = pick_next(queue)
+            elif check_preempt(queue, current):
+                # preempted: close its optional-progress accounting and
+                # requeue (at the head of its level for FIFO classes)
+                self._account_optional(current)
+                running[cpu] = pick_next(queue)
+                sched_class.enqueue(queue, current, at_head=True)
 
-    def _allocate_global(self, ready, running, time):
-        migrations = 0
-        # Real-time items migrate freely; optional items stay pinned.
-        rt_pool = [i for i in ready if i.band == _RT_BAND]
-        for item in running:
-            if item is not None and item.band == _RT_BAND:
-                rt_pool.append(item)
-        rt_pool.sort(key=lambda i: i.priority_key())
-        chosen = rt_pool[: self.n_cpus]
+    def _allocate_global(self):
+        sched_class = self.sched_class
+        running = self._running
+        rt_queue = self._ready.rt_queue
+        key = sched_class.priority_key
+
+        # Top-M of (ready RT ∪ running RT): the M most urgent queued
+        # items plus every running RT item form a superset, so pull only
+        # M from the heap — O(M log n), not a full re-sort.
+        pool = [
+            item for item in running
+            if item is not None and item.band == RT_BAND
+        ]
+        pulled = rt_queue.pop_upto(self.n_cpus)
+        pool.extend(pulled)
+        pool.sort(key=key)
+        chosen = pool[: self.n_cpus]
         chosen_set = set(map(id, chosen))
+        for item in pulled:
+            if id(item) not in chosen_set:
+                sched_class.enqueue(rt_queue, item)
 
         # Clear CPUs whose current RT item lost its slot.
         for cpu in range(self.n_cpus):
             item = running[cpu]
             if item is None:
                 continue
-            if item.band == _RT_BAND and id(item) not in chosen_set:
+            if item.band == RT_BAND and id(item) not in chosen_set:
                 self._account_optional(item)
-                ready.append(item)
+                sched_class.enqueue(rt_queue, item)
                 running[cpu] = None
-            elif item.band == _NRT_BAND:
-                # optional items yield to incoming RT work if needed later
-                pass
 
         # Place chosen RT items: keep items already on a CPU in place.
         placed = set()
@@ -529,7 +655,7 @@ class ScheduleSimulator:
             if target is None:
                 for cpu in range(self.n_cpus):
                     if running[cpu] is not None and \
-                            running[cpu].band == _NRT_BAND:
+                            running[cpu].band == NRT_BAND:
                         target = cpu
                         break
             if target is None:
@@ -537,11 +663,9 @@ class ScheduleSimulator:
             current = running[target]
             if current is not None:
                 self._account_optional(current)
-                ready.append(current)
-            if item in ready:
-                ready.remove(item)
+                self._ready.add(current)
             if item.started and item.cpu != target:
-                migrations += 1
+                self._migrations += 1
             item.cpu = target
             running[target] = item
 
@@ -549,14 +673,8 @@ class ScheduleSimulator:
         for cpu in range(self.n_cpus):
             if running[cpu] is not None:
                 continue
-            candidates = [
-                i for i in ready if i.band == _NRT_BAND and i.cpu == cpu
-            ]
-            if candidates:
-                best = min(candidates, key=lambda i: i.priority_key())
-                ready.remove(best)
-                running[cpu] = best
-        return migrations
+            queue = self._ready.cpu_queues[cpu]
+            running[cpu] = sched_class.pick_next(queue)
 
     def _account_optional(self, item):
         if item.part is PartType.OPTIONAL and item.record is not None:

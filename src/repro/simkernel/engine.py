@@ -1,138 +1,13 @@
-"""Discrete-event engine: simulated clock plus a cancellable event queue.
+"""Compatibility shim — the discrete-event engine moved to
+:mod:`repro.engine.events`.
 
-The engine is deliberately tiny and generic — everything scheduling-related
-lives in :mod:`repro.simkernel.kernel`.  Events are ordered by
-``(time, priority, sequence)``; the sequence number makes simultaneous
-events deterministic (FIFO among equals), which the reproduction relies on:
-e.g. all 228 optional-deadline timers firing at the same instant must be
-processed in a stable order for results to be repeatable.
+The engine is shared by the kernel DES and the theory-level schedule
+simulator; it lives in the :mod:`repro.engine` package together with the
+ready-queue structures and the pluggable scheduling classes.  This
+module keeps the historical ``repro.simkernel.engine`` import path
+working.
 """
 
-import heapq
+from repro.engine.events import Engine, Event
 
-
-class Event:
-    """A scheduled callback.
-
-    Events are created through :meth:`Engine.schedule_at` /
-    :meth:`Engine.schedule_after` and can be cancelled with
-    :meth:`Engine.cancel`.  Cancellation is lazy: the heap entry stays in
-    place and is skipped when popped.
-    """
-
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
-
-    def __init__(self, time, priority, seq, callback):
-        self.time = time
-        self.priority = priority
-        self.seq = seq
-        self.callback = callback
-        self.cancelled = False
-
-    def __lt__(self, other):
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
-
-    def __repr__(self):
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<Event t={self.time} prio={self.priority} seq={self.seq} {state}>"
-
-
-class Engine:
-    """Simulated clock and event loop.
-
-    :param start_time: initial value of the simulated clock, nanoseconds.
-    """
-
-    def __init__(self, start_time=0.0):
-        self.now = float(start_time)
-        self._heap = []
-        self._seq = 0
-        self._events_processed = 0
-
-    @property
-    def events_processed(self):
-        """Number of events executed so far (for diagnostics and tests)."""
-        return self._events_processed
-
-    @property
-    def pending_count(self):
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
-
-    def schedule_at(self, time, callback, priority=0):
-        """Schedule ``callback()`` at absolute simulated ``time``.
-
-        ``time`` must not be in the past.  ``priority`` breaks ties among
-        events at the same instant (lower runs first); the kernel uses it
-        to e.g. process timer expiries before thread wake-ups scheduled at
-        the same timestamp.
-        """
-        if time < self.now:
-            raise ValueError(
-                f"cannot schedule event at {time} before now ({self.now})"
-            )
-        self._seq += 1
-        event = Event(float(time), priority, self._seq, callback)
-        heapq.heappush(self._heap, event)
-        return event
-
-    def schedule_after(self, delay, callback, priority=0):
-        """Schedule ``callback()`` after a relative ``delay`` >= 0."""
-        if delay < 0:
-            raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self.now + delay, callback, priority=priority)
-
-    def cancel(self, event):
-        """Cancel a pending event.  Cancelling twice is a no-op."""
-        event.cancelled = True
-
-    def peek_time(self):
-        """Return the time of the next pending event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
-
-    def step(self):
-        """Execute the next pending event.  Return ``False`` if none left."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self.now:
-                raise RuntimeError(
-                    f"event time {event.time} behind clock {self.now}"
-                )
-            self.now = event.time
-            self._events_processed += 1
-            event.callback()
-            return True
-        return False
-
-    def run(self, until=None, max_events=None):
-        """Drain the event queue.
-
-        :param until: stop once the clock would pass this time (the clock
-            is advanced to ``until`` if the queue outlives it).
-        :param max_events: safety valve against runaway simulations.
-        :returns: number of events executed by this call.
-        """
-        executed = 0
-        while True:
-            if max_events is not None and executed >= max_events:
-                return executed
-            next_time = self.peek_time()
-            if next_time is None:
-                if until is not None and until > self.now:
-                    self.now = float(until)
-                return executed
-            if until is not None and next_time > until:
-                self.now = float(until)
-                return executed
-            self.step()
-            executed += 1
+__all__ = ["Engine", "Event"]

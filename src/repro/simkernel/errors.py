@@ -1,5 +1,7 @@
 """Exception types for the simulated kernel."""
 
+from repro.engine.readyqueue import ReadyQueueError
+
 
 class SimulationError(Exception):
     """Base class for all simulated-kernel errors."""
@@ -18,8 +20,12 @@ class DeadlockError(SimulationError):
         self.blocked_threads = tuple(blocked_threads)
 
 
-class SchedulingError(SimulationError):
-    """An invalid scheduling request (bad priority, unknown CPU, ...)."""
+class SchedulingError(SimulationError, ReadyQueueError):
+    """An invalid scheduling request (bad priority, unknown CPU, ...).
+
+    Subclasses :class:`~repro.engine.readyqueue.ReadyQueueError` so
+    callers catching the engine-level error also catch kernel-level
+    scheduling violations."""
 
 
 class SyscallError(SimulationError):

@@ -26,8 +26,9 @@ whenever no simulated thread occupies them, without generating events.
 from collections import deque
 from functools import partial
 
+from repro.engine.classes import get_sched_class
+from repro.engine.events import Engine
 from repro.simkernel.costmodel import ZeroCostModel
-from repro.simkernel.engine import Engine
 from repro.simkernel.errors import (
     DeadlockError,
     SchedulingError,
@@ -77,17 +78,25 @@ class Kernel:
     :param topology: the :class:`~repro.simkernel.cpu.Topology` to run on.
     :param cost_model: a :class:`~repro.simkernel.costmodel.CostModel`;
         defaults to :class:`~repro.simkernel.costmodel.ZeroCostModel`.
-    :param engine: optionally share an :class:`~repro.simkernel.engine.Engine`.
+    :param engine: optionally share an :class:`~repro.engine.events.Engine`.
+    :param sched_class: the real-time scheduling class dispatch goes
+        through — a :class:`~repro.engine.classes.SchedClass` instance or
+        registry name.  Defaults to SCHED_FIFO
+        (:class:`~repro.engine.classes.Fifo99Class`), which is what the
+        paper's middleware relies on; the kernel itself contains no
+        priority-ordering logic.
     """
 
-    def __init__(self, topology, cost_model=None, engine=None):
+    def __init__(self, topology, cost_model=None, engine=None,
+                 sched_class=None):
         self.topology = topology
         self.cost_model = cost_model or ZeroCostModel()
         self.engine = engine or Engine()
+        self.sched_class = get_sched_class(sched_class or "fifo")
         n = topology.n_cpus
-        from repro.simkernel.runqueue import FifoRunQueue
-
-        self.runqueues = [FifoRunQueue(cpu) for cpu in range(n)]
+        self.runqueues = [
+            self.sched_class.make_queue(cpu) for cpu in range(n)
+        ]
         self.other_queues = [deque() for _ in range(n)]
         self.current = [None] * n
         self.threads = []
@@ -217,8 +226,8 @@ class Kernel:
         thread.state = ThreadState.READY
         thread.blocked_on = None
         if thread.policy is SchedPolicy.FIFO:
-            self.runqueues[thread.cpu].enqueue(
-                thread, thread.priority, at_head=at_head
+            self.sched_class.enqueue(
+                self.runqueues[thread.cpu], thread, at_head=at_head
             )
         else:
             queue = self.other_queues[thread.cpu]
@@ -231,7 +240,7 @@ class Kernel:
 
     def _dequeue_ready(self, thread):
         if thread.policy is SchedPolicy.FIFO:
-            self.runqueues[thread.cpu].dequeue(thread, thread.priority)
+            self.sched_class.dequeue(self.runqueues[thread.cpu], thread)
         else:
             self.other_queues[thread.cpu].remove(thread)
 
@@ -245,23 +254,17 @@ class Kernel:
             priority=_RESCHED_EVENT_PRIO,
         )
 
-    def _next_ready_priority(self, cpu):
-        prio = self.runqueues[cpu].highest_priority()
-        if prio is not None:
-            return prio
-        if self.other_queues[cpu]:
-            return 0
-        return None
-
     def _do_schedule(self, cpu):
         self._resched_pending[cpu] = False
         current = self.current[cpu]
-        top = self._next_ready_priority(cpu)
+        runqueue = self.runqueues[cpu]
         if current is None:
-            if top is not None:
+            if runqueue or self.other_queues[cpu]:
                 self._dispatch(cpu)
             return
-        if top is not None and top > current.effective_priority():
+        # SCHED_OTHER never preempts (pseudo-priority 0 vs 0 or below an
+        # RT level); the RT class decides everything else.
+        if self.sched_class.check_preempt(runqueue, current):
             self._preempt(cpu)
             self._dispatch(cpu)
 
@@ -275,20 +278,20 @@ class Kernel:
         if thread.policy is SchedPolicy.FIFO:
             # SCHED_FIFO: a preempted thread returns to the *head* of its
             # priority level so it resumes before equal-priority peers.
-            self.runqueues[cpu].enqueue(thread, thread.priority, at_head=True)
+            self.sched_class.enqueue(self.runqueues[cpu], thread,
+                                     at_head=True)
         else:
             self.other_queues[cpu].appendleft(thread)
         self._core_changed(self.topology.core_of(cpu))
         self._emit("preempt", thread)
 
     def _dispatch(self, cpu):
-        runqueue = self.runqueues[cpu]
-        if runqueue:
-            thread, _prio = runqueue.pop()
-        elif self.other_queues[cpu]:
-            thread = self.other_queues[cpu].popleft()
-        else:
-            return
+        thread = self.sched_class.pick_next(self.runqueues[cpu])
+        if thread is None:
+            if self.other_queues[cpu]:
+                thread = self.other_queues[cpu].popleft()
+            else:
+                return
         thread.state = ThreadState.RUNNING
         self.current[cpu] = thread
         thread.dispatches += 1
@@ -635,9 +638,11 @@ class Kernel:
         if mutex.boosted_from is None:
             mutex.boosted_from = owner.priority
         if owner.state is ThreadState.READY:
-            self.runqueues[owner.cpu].dequeue(owner, owner.priority)
+            # requeue discipline: urgency changed, so remove at the old
+            # priority and re-enqueue at the boosted one
+            self.sched_class.dequeue(self.runqueues[owner.cpu], owner)
             owner.priority = waiter.priority
-            self.runqueues[owner.cpu].enqueue(owner, owner.priority)
+            self.sched_class.enqueue(self.runqueues[owner.cpu], owner)
             self._request_resched(owner.cpu)
         else:
             owner.priority = waiter.priority
@@ -699,9 +704,9 @@ class Kernel:
     def _sys_setscheduler(self, thread, request, cost):
         thread.policy = request.policy
         if request.policy is SchedPolicy.FIFO:
-            from repro.simkernel.runqueue import MAX_RT_PRIO, MIN_RT_PRIO
-
-            if not MIN_RT_PRIO <= request.priority <= MAX_RT_PRIO:
+            min_prio = getattr(self.sched_class, "min_prio", 1)
+            max_prio = getattr(self.sched_class, "max_prio", 99)
+            if not min_prio <= request.priority <= max_prio:
                 raise SchedulingError(
                     f"priority {request.priority} outside FIFO range"
                 )
@@ -743,7 +748,8 @@ class Kernel:
         thread.state = ThreadState.READY
         self._vacate_cpu(cpu)
         if thread.policy is SchedPolicy.FIFO:
-            self.runqueues[cpu].enqueue(thread, thread.priority, at_head=False)
+            self.sched_class.enqueue(self.runqueues[cpu], thread,
+                                     at_head=False)
         else:
             self.other_queues[cpu].append(thread)
         self._core_changed(self.topology.core_of(cpu))

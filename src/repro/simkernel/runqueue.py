@@ -1,14 +1,25 @@
 """Per-CPU SCHED_FIFO run queues.
 
 Figure 5 of the paper shows the kernel-space structure RT-Seed relies on:
-per-CPU FIFO thread queues with 99 priority levels, each level managed as a
-double circular linked list, with larger priority values denoting higher
-priority.  This module reproduces that structure: an intrusive circular
-doubly-linked list per level plus a priority bitmap for O(1) lookup of the
-highest non-empty level (the same trick Linux's rt scheduling class uses).
+per-CPU FIFO thread queues with 99 priority levels, each level managed as
+a double circular linked list, with larger priority values denoting
+higher priority.  The generic structure (intrusive circular list per
+level plus a priority bitmap for O(1) lookup of the highest non-empty
+level — the same trick Linux's rt scheduling class uses) lives in
+:mod:`repro.engine.readyqueue`; this module specializes it to the
+SCHED_FIFO priority range and keeps the historical import path working.
+
+The kernel no longer manipulates these queues directly — dispatch goes
+through the :class:`~repro.engine.classes.Fifo99Class` scheduling class,
+whose ``make_queue`` produces this structure.
 """
 
-from repro.simkernel.errors import SchedulingError
+from repro.engine.readyqueue import (
+    CircularDList,
+    IndexedLevelQueue,
+    PriorityBitmap,
+    ReadyQueueError,
+)
 
 #: Number of real-time priority levels (1..99), as in Linux SCHED_FIFO.
 NR_RT_PRIORITIES = 99
@@ -20,207 +31,29 @@ MIN_RT_PRIO = 1
 MAX_RT_PRIO = 99
 
 
-class _Node:
-    """Intrusive list node; one per enqueued thread."""
-
-    __slots__ = ("value", "prev", "next", "owner")
-
-    def __init__(self, value):
-        self.value = value
-        self.prev = None
-        self.next = None
-        self.owner = None
-
-
-class CircularDList:
-    """Double circular linked list with O(1) push/pop at both ends.
-
-    Mirrors the kernel's per-priority FIFO list: new runnable threads go
-    to the tail; a preempted thread returns to the head (SCHED_FIFO
-    semantics — it resumes before equal-priority peers).
-    """
-
-    def __init__(self):
-        self._head = None
-        self._len = 0
-        self._nodes = {}
-
-    def __len__(self):
-        return self._len
-
-    def __bool__(self):
-        return self._len > 0
-
-    def __iter__(self):
-        node = self._head
-        for _ in range(self._len):
-            yield node.value
-            node = node.next
-
-    def __contains__(self, value):
-        return id(value) in self._nodes
-
-    def _insert_before(self, node, anchor):
-        node.prev = anchor.prev
-        node.next = anchor
-        anchor.prev.next = node
-        anchor.prev = node
-
-    def push_tail(self, value):
-        """Append ``value`` at the tail (normal enqueue)."""
-        if id(value) in self._nodes:
-            raise SchedulingError(f"{value!r} already enqueued")
-        node = _Node(value)
-        node.owner = self
-        self._nodes[id(value)] = node
-        if self._head is None:
-            node.prev = node.next = node
-            self._head = node
-        else:
-            self._insert_before(node, self._head)
-        self._len += 1
-
-    def push_head(self, value):
-        """Insert ``value`` at the head (a preempted thread returning)."""
-        self.push_tail(value)
-        self._head = self._head.prev
-
-    def peek_head(self):
-        """Return the head value without removing it (``None`` if empty)."""
-        return self._head.value if self._head else None
-
-    def pop_head(self):
-        """Remove and return the head value."""
-        if self._head is None:
-            raise SchedulingError("pop from empty list")
-        value = self._head.value
-        self.remove(value)
-        return value
-
-    def remove(self, value):
-        """Remove ``value`` from anywhere in the list in O(1)."""
-        node = self._nodes.pop(id(value), None)
-        if node is None:
-            raise SchedulingError(f"{value!r} not in list")
-        if self._len == 1:
-            self._head = None
-        else:
-            node.prev.next = node.next
-            node.next.prev = node.prev
-            if self._head is node:
-                self._head = node.next
-        node.prev = node.next = None
-        node.owner = None
-        self._len -= 1
-
-
-class PriorityBitmap:
-    """Bitmap over priority levels with O(1) find-highest.
-
-    Python integers are arbitrary-precision, so a single int serves as the
-    bitmap; ``int.bit_length`` gives the highest set bit directly.
-    """
-
-    def __init__(self):
-        self._bits = 0
-
-    def set(self, prio):
-        self._bits |= 1 << prio
-
-    def clear(self, prio):
-        self._bits &= ~(1 << prio)
-
-    def is_set(self, prio):
-        return bool(self._bits >> prio & 1)
-
-    def highest(self):
-        """Highest set priority, or ``None`` when the bitmap is empty."""
-        if self._bits == 0:
-            return None
-        return self._bits.bit_length() - 1
-
-    def __bool__(self):
-        return self._bits != 0
-
-
-class FifoRunQueue:
+class FifoRunQueue(IndexedLevelQueue):
     """One CPU's ready queue: 99 FIFO levels plus the bitmap.
 
-    Priorities follow Linux ``SCHED_FIFO``: integers in ``[1, 99]``, larger
-    is more urgent.  ``SCHED_OTHER`` background threads are modelled
-    declaratively (see :class:`repro.simkernel.cpu.HardwareThread`), so the
-    run queue only ever holds real-time threads.
+    Priorities follow Linux ``SCHED_FIFO``: integers in ``[1, 99]``,
+    larger is more urgent.  ``SCHED_OTHER`` background threads are
+    modelled declaratively (see
+    :class:`repro.simkernel.cpu.HardwareThread`), so the run queue only
+    ever holds real-time threads.
     """
 
     def __init__(self, cpu_id):
-        self.cpu_id = cpu_id
-        self._levels = [CircularDList() for _ in range(MAX_RT_PRIO + 1)]
-        self._bitmap = PriorityBitmap()
-        self._count = 0
+        super().__init__(MIN_RT_PRIO, MAX_RT_PRIO, cpu_id=cpu_id)
 
-    def __len__(self):
-        return self._count
+    #: Historical name for :meth:`IndexedLevelQueue.items_at`.
+    threads_at = IndexedLevelQueue.items_at
 
-    def __bool__(self):
-        return self._count > 0
 
-    @staticmethod
-    def _check_prio(prio):
-        if not MIN_RT_PRIO <= prio <= MAX_RT_PRIO:
-            raise SchedulingError(
-                f"priority {prio} outside SCHED_FIFO range "
-                f"[{MIN_RT_PRIO}, {MAX_RT_PRIO}]"
-            )
-
-    def enqueue(self, thread, prio, at_head=False):
-        """Make ``thread`` runnable at ``prio``.
-
-        ``at_head=True`` reproduces SCHED_FIFO's rule that a *preempted*
-        thread goes back to the head of its level; a newly woken thread
-        goes to the tail.
-        """
-        self._check_prio(prio)
-        level = self._levels[prio]
-        if at_head:
-            level.push_head(thread)
-        else:
-            level.push_tail(thread)
-        self._bitmap.set(prio)
-        self._count += 1
-
-    def dequeue(self, thread, prio):
-        """Remove a specific thread (e.g. it was killed while ready)."""
-        self._check_prio(prio)
-        level = self._levels[prio]
-        level.remove(thread)
-        if not level:
-            self._bitmap.clear(prio)
-        self._count -= 1
-
-    def peek(self):
-        """``(thread, prio)`` of the most urgent ready thread, or ``None``."""
-        prio = self._bitmap.highest()
-        if prio is None:
-            return None
-        return self._levels[prio].peek_head(), prio
-
-    def pop(self):
-        """Remove and return ``(thread, prio)`` of the most urgent thread."""
-        prio = self._bitmap.highest()
-        if prio is None:
-            raise SchedulingError(f"run queue of CPU {self.cpu_id} empty")
-        level = self._levels[prio]
-        thread = level.pop_head()
-        if not level:
-            self._bitmap.clear(prio)
-        self._count -= 1
-        return thread, prio
-
-    def highest_priority(self):
-        """Priority of the most urgent ready thread, or ``None``."""
-        return self._bitmap.highest()
-
-    def threads_at(self, prio):
-        """Snapshot (list) of threads queued at ``prio``, head first."""
-        self._check_prio(prio)
-        return list(self._levels[prio])
+__all__ = [
+    "NR_RT_PRIORITIES",
+    "MIN_RT_PRIO",
+    "MAX_RT_PRIO",
+    "CircularDList",
+    "FifoRunQueue",
+    "PriorityBitmap",
+    "ReadyQueueError",
+]

@@ -75,7 +75,7 @@ def test_rmwp_rejects_non_imprecise_tasks():
 def test_unknown_policy_rejected():
     taskset = TaskSet([PeriodicTask("a", 1.0, 10.0)])
     with pytest.raises(ValueError):
-        ScheduleSimulator(taskset, policy="fifo")
+        ScheduleSimulator(taskset, policy="lottery")
 
 
 def test_bad_assignment_rejected():

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simkernel.errors import SchedulingError
+from repro.engine.readyqueue import ReadyQueueError
 from repro.simkernel.runqueue import (
     MAX_RT_PRIO,
     MIN_RT_PRIO,
@@ -88,18 +88,18 @@ def test_dlist_double_insert_rejected():
     dlist = CircularDList()
     a = Item("a")
     dlist.push_tail(a)
-    with pytest.raises(SchedulingError):
+    with pytest.raises(ReadyQueueError):
         dlist.push_tail(a)
 
 
 def test_dlist_remove_absent_rejected():
     dlist = CircularDList()
-    with pytest.raises(SchedulingError):
+    with pytest.raises(ReadyQueueError):
         dlist.remove(Item("ghost"))
 
 
 def test_dlist_pop_empty_rejected():
-    with pytest.raises(SchedulingError):
+    with pytest.raises(ReadyQueueError):
         CircularDList().pop_head()
 
 
@@ -208,9 +208,9 @@ def test_runqueue_preempted_thread_goes_to_head():
 
 def test_runqueue_priority_bounds():
     runqueue = FifoRunQueue(0)
-    with pytest.raises(SchedulingError):
+    with pytest.raises(ReadyQueueError):
         runqueue.enqueue(Item("x"), 0)
-    with pytest.raises(SchedulingError):
+    with pytest.raises(ReadyQueueError):
         runqueue.enqueue(Item("x"), 100)
     assert MIN_RT_PRIO == 1
     assert MAX_RT_PRIO == 99
@@ -227,7 +227,7 @@ def test_runqueue_dequeue_specific():
 
 
 def test_runqueue_empty_pop_rejected():
-    with pytest.raises(SchedulingError):
+    with pytest.raises(ReadyQueueError):
         FifoRunQueue(0).pop()
 
 
