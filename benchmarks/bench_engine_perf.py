@@ -12,6 +12,10 @@ JSON blob suitable for committing as ``BENCH_engine.json``:
 * ``sched_simulator`` — the theory-level ``ScheduleSimulator`` on a
   partitioned RMWP task set over its hyperperiod: jobs/sec (each job is
   several dispatch decisions, so this tracks ready-queue cost directly).
+* ``obs_overhead`` — the fig10 workload three ways: unobserved (idle
+  probe bus — the ``bus.active`` guard must cost ~nothing), with a
+  tracer + metrics + Chrome exporter subscribed, and the idle-bus
+  regression vs. the unobserved baseline in percent.
 
 Usage::
 
@@ -46,8 +50,12 @@ SIM_UTILIZATION = 0.65
 SIM_REPEATS = 60
 
 
-def bench_fig10():
-    """The bench_fig10_mandatory workload; returns (events, seconds)."""
+def bench_fig10(observers=None):
+    """The bench_fig10_mandatory workload; returns (events, seconds).
+
+    :param observers: optional callable receiving the kernel before the
+        run (used by :func:`bench_obs_overhead` to subscribe probes).
+    """
     from repro.bench.overheads import (
         OPTIONAL_DEADLINE,
         make_eval_task,
@@ -63,9 +71,50 @@ def bench_fig10():
         policy="one_by_one",
         optional_deadline=OPTIONAL_DEADLINE,
     )
+    if observers is not None:
+        observers(middleware.kernel)
     middleware.run()
     elapsed = time.perf_counter() - start
     return middleware.kernel.engine.events_processed, elapsed
+
+
+def bench_obs_overhead():
+    """Probe-bus cost on fig10: unobserved vs. fully observed.
+
+    Returns a dict with events/sec for both configurations and the
+    idle-bus overhead in percent (the acceptance criterion: an
+    unobserved run must stay within a couple of percent of the
+    pre-observability baseline, since every probe site now pays one
+    ``bus.active`` test).
+    """
+    from repro.obs import ChromeTraceExporter, SchedulerMetrics
+    from repro.simkernel.trace import Tracer
+
+    # interleave to be fair to CPU-frequency drift: idle, observed, idle
+    idle_a = bench_fig10()
+    subscribed = {}
+
+    def attach(kernel):
+        subscribed["tracer"] = Tracer.attach(kernel, max_records=200_000)
+        subscribed["metrics"] = SchedulerMetrics.attach(kernel)
+        subscribed["exporter"] = ChromeTraceExporter.attach(kernel)
+
+    observed = bench_fig10(observers=attach)
+    idle_b = bench_fig10()
+
+    idle_events = idle_a[0] + idle_b[0]
+    idle_secs = idle_a[1] + idle_b[1]
+    idle_rate = idle_events / idle_secs
+    observed_rate = observed[0] / observed[1]
+    return {
+        "idle_events_per_sec": round(idle_rate, 1),
+        "observed_events_per_sec": round(observed_rate, 1),
+        "observed_slowdown_pct": round(
+            (idle_rate / observed_rate - 1.0) * 100.0, 1
+        ),
+        "trace_events": len(subscribed["exporter"].events),
+        "probe_events": subscribed["tracer"]._bus.published,
+    }
 
 
 def bench_ablation():
@@ -132,6 +181,7 @@ def main(argv=None):
     fig10_events, fig10_secs = bench_fig10()
     ablation_sets, ablation_secs = bench_ablation()
     sim_jobs, sim_secs = bench_simulator()
+    obs_overhead = bench_obs_overhead()
 
     report = {
         "label": args.label,
@@ -150,6 +200,7 @@ def main(argv=None):
             "seconds": round(sim_secs, 4),
             "jobs_per_sec": round(sim_jobs / sim_secs, 1),
         },
+        "obs_overhead": obs_overhead,
     }
     json.dump(report, sys.stdout, indent=2)
     print()

@@ -18,6 +18,14 @@ Commands
 
 ``admit``
     Demonstrate admission control on a random workload.
+
+``trace``
+    Run a workload with the Chrome-trace exporter attached and write a
+    Perfetto-loadable JSON trace (and optionally a JSONL event stream).
+
+``metrics``
+    Run a workload with the metrics collector attached and print the
+    simulated-time metrics snapshot (counters + latency quantiles).
 """
 
 import argparse
@@ -74,6 +82,44 @@ def _add_admit_parser(subparsers):
     parser.add_argument("--cpus", type=int, default=2)
     parser.add_argument("--tasks", type=int, default=12)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_workload_arguments(parser):
+    """Shared workload selection for the observability commands."""
+    parser.add_argument("--workload", default="overheads",
+                        choices=["overheads", "trade"],
+                        help="what to run under observation")
+    parser.add_argument("--np", dest="n_parallel", type=int, default=8,
+                        help="parallel optional parts (overheads "
+                             "workload)")
+    parser.add_argument("--jobs", type=int, default=5,
+                        help="jobs (overheads) / seconds (trade)")
+    parser.add_argument("--policy", default="one_by_one",
+                        choices=["one_by_one", "two_by_two", "all_by_all"])
+    parser.add_argument("--load", default="none",
+                        choices=["none", "cpu", "cpu_memory"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_trace_parser(subparsers):
+    parser = subparsers.add_parser(
+        "trace", help="export a Perfetto/Chrome trace of a workload"
+    )
+    _add_workload_arguments(parser)
+    parser.add_argument("--out", default="trace.json",
+                        help="Chrome trace-event JSON output path")
+    parser.add_argument("--jsonl", default=None,
+                        help="also stream every probe event to this "
+                             "JSONL file")
+
+
+def _add_metrics_parser(subparsers):
+    parser = subparsers.add_parser(
+        "metrics", help="collect simulated-time metrics for a workload"
+    )
+    _add_workload_arguments(parser)
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw snapshot as JSON")
 
 
 def _load_from_name(name):
@@ -234,12 +280,87 @@ def cmd_admit(args, out):
     return 0
 
 
+def _build_workload(args):
+    """Build the workload under observation; return ``(kernel, run)``.
+
+    ``run()`` executes the workload to completion; observers must be
+    subscribed to ``kernel.probes`` before calling it.
+    """
+    if args.workload == "trade":
+        from repro.trading.system import RealTimeTradingSystem
+
+        system = RealTimeTradingSystem(
+            n_seconds=args.jobs,
+            seed=args.seed,
+            policy=args.policy,
+            load=_load_from_name(args.load),
+        )
+        return system.middleware.kernel, system.run
+
+    from repro.bench.overheads import OPTIONAL_DEADLINE, make_eval_task
+    from repro.core.middleware import RTSeed
+
+    middleware = RTSeed(load=_load_from_name(args.load), seed=args.seed)
+    middleware.add_task(
+        make_eval_task(args.n_parallel),
+        n_jobs=args.jobs,
+        cpu=0,
+        policy=args.policy,
+        optional_deadline=OPTIONAL_DEADLINE,
+    )
+    return middleware.kernel, middleware.run
+
+
+def cmd_trace(args, out):
+    from repro.obs import ChromeTraceExporter, JsonlExporter
+
+    kernel, run = _build_workload(args)
+    exporter = ChromeTraceExporter.attach(kernel)
+    jsonl_stream = None
+    jsonl = None
+    if args.jsonl:
+        jsonl_stream = open(args.jsonl, "w")
+        jsonl = JsonlExporter.attach(kernel, jsonl_stream)
+    try:
+        run()
+    finally:
+        if jsonl_stream is not None:
+            jsonl_stream.close()
+    exporter.write(args.out)
+    print(f"wrote {len(exporter.events)} trace events to {args.out}",
+          file=out)
+    if jsonl is not None:
+        print(f"wrote {jsonl.lines} probe events to {args.jsonl}",
+              file=out)
+    print("open in https://ui.perfetto.dev or chrome://tracing",
+          file=out)
+    return 0
+
+
+def cmd_metrics(args, out):
+    import json as json_module
+
+    from repro.obs import SchedulerMetrics
+
+    kernel, run = _build_workload(args)
+    metrics = SchedulerMetrics.attach(kernel)
+    run()
+    if args.json:
+        print(json_module.dumps(metrics.registry.snapshot(), indent=2,
+                                sort_keys=True), file=out)
+    else:
+        print(metrics.format(), file=out)
+    return 0
+
+
 _COMMANDS = {
     "overheads": cmd_overheads,
     "sweep": cmd_sweep,
     "trade": cmd_trade,
     "figures": cmd_figures,
     "admit": cmd_admit,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 
@@ -255,6 +376,8 @@ def build_parser():
     _add_trade_parser(subparsers)
     _add_figures_parser(subparsers)
     _add_admit_parser(subparsers)
+    _add_trace_parser(subparsers)
+    _add_metrics_parser(subparsers)
     return parser
 
 

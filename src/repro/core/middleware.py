@@ -125,6 +125,12 @@ class RTSeed:
         self._entries = []
         self._ran = False
 
+    @property
+    def probes(self):
+        """The kernel's probe bus — subscribe tracers, metrics
+        collectors, or trace exporters here before :meth:`run`."""
+        return self.kernel.probes
+
     def add_task(self, task, n_jobs, cpu=0, policy="one_by_one",
                  optional_cpus=None, optional_deadline=None, model=None,
                  strategy=None, start_time=None):

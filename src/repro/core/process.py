@@ -23,6 +23,14 @@ optional parts are *discarded* — they never receive the wake-up signal
 
 The per-job :class:`JobProbe` records every timestamp the paper's
 Figure 9 probes measure: Δm, Δb, Δs, Δe fall out as properties.
+
+The same measurement points double as live probe sites: when the
+kernel's :class:`~repro.obs.bus.ProbeBus` has subscribers, the protocol
+publishes ``rtseed.*`` events (release, mandatory begin/end, signalling
+done, optional begin/end, discard, wind-up begin/end, job done) so
+metrics collectors and trace exporters see the middleware protocol
+without touching its timing — every timestamp published is one the
+protocol already paid a ``GetTime`` for.
 """
 
 from repro.core.queues import nrtq_priority
@@ -216,6 +224,7 @@ class RealTimeProcess:
 
     def _mandatory_body(self, thread):
         task = self.task
+        bus = self.kernel.probes
         yield SchedSetScheduler(SchedPolicy.FIFO, self.priority)
         yield SchedSetAffinity(self.cpu)
         for part_index in range(task.n_parallel):
@@ -241,11 +250,24 @@ class RealTimeProcess:
             )
             self.probes.append(probe)
             probe.mandatory_start = yield GetTime()
+            if bus.active:
+                bus.publish("rtseed.release", task=task.name,
+                            job=job_index, tid=thread.tid,
+                            release=release)
+                bus.publish("rtseed.mandatory_begin", task=task.name,
+                            job=job_index, tid=thread.tid,
+                            delta_m=probe.delta_m)
 
             ctx = TaskContext(task, job_index, release,
                               probe.od_abs, probe.deadline_abs)
             yield from task.exec_mandatory(ctx)
             probe.mandatory_end = yield GetTime()
+            if bus.active:
+                bus.publish(
+                    "rtseed.mandatory_end", task=task.name,
+                    job=job_index, tid=thread.tid,
+                    duration=probe.mandatory_end - probe.mandatory_start,
+                )
 
             if probe.mandatory_end < probe.od_abs:
                 # wake each optional part individually (never broadcast)
@@ -256,6 +278,10 @@ class RealTimeProcess:
                     yield CondSignal(self._opt_cond[part_index])
                     yield MutexUnlock(self._opt_mutex[part_index])
                 probe.signal_end = yield GetTime()
+                if bus.active:
+                    bus.publish("rtseed.signals_done", task=task.name,
+                                job=job_index, tid=thread.tid,
+                                delta_b=probe.delta_b)
 
                 probe.mandatory_blocked = yield GetTime()
                 yield MutexLock(self._done_mutex)
@@ -263,13 +289,39 @@ class RealTimeProcess:
                     yield CondWait(self._mand_cond, self._done_mutex)
                 self._done_count = 0
                 yield MutexUnlock(self._done_mutex)
-            # else: no time for optional parts — they are discarded (the
-            # wake-up signal is never sent) and the wind-up runs now.
+            else:
+                # no time for optional parts — they are discarded (the
+                # wake-up signal is never sent) and the wind-up runs now.
+                if bus.active:
+                    bus.publish("rtseed.discard", task=task.name,
+                                job=job_index, tid=thread.tid,
+                                n_parts=task.n_parallel)
 
             probe.windup_start = yield GetTime()
+            if bus.active:
+                bus.publish("rtseed.windup_begin", task=task.name,
+                            job=job_index, tid=thread.tid,
+                            delta_e=probe.delta_e)
             yield from task.exec_windup(ctx)
             probe.windup_end = yield GetTime()
             probe.results = ctx.collect()
+            if bus.active:
+                bus.publish(
+                    "rtseed.windup_end", task=task.name,
+                    job=job_index, tid=thread.tid,
+                    duration=probe.windup_end - probe.windup_start,
+                )
+                bus.publish(
+                    "rtseed.job_done", task=task.name,
+                    job=job_index, tid=thread.tid,
+                    response=probe.windup_end - release,
+                    tardiness=max(0.0, probe.windup_end -
+                                  probe.deadline_abs),
+                    met=probe.deadline_met,
+                    qos=probe.optional_time_executed,
+                    delta_m=probe.delta_m, delta_b=probe.delta_b,
+                    delta_s=probe.delta_s, delta_e=probe.delta_e,
+                )
 
         # shutdown: release the optional threads from their wait loops
         self._active = False
@@ -281,6 +333,7 @@ class RealTimeProcess:
     def _make_optional_body(self, part_index):
         def body(thread):
             task = self.task
+            bus = self.kernel.probes
             yield SchedSetScheduler(SchedPolicy.FIFO, self.optional_priority)
             yield SchedSetAffinity(self.optional_cpus[part_index])
             timer = KTimer(thread, name=f"{task.name}-odt-{part_index}")
@@ -300,11 +353,22 @@ class RealTimeProcess:
 
                 probe = self.probes[job_index]
                 probe.optional_start[part_index] = yield GetTime()
+                if bus.active:
+                    bus.publish("rtseed.optional_begin", task=task.name,
+                                part=part_index, job=job_index,
+                                tid=thread.tid)
                 body_gen = task.exec_optional(ctx, part_index)
                 outcome = yield from self.strategy.run(body_gen, timer,
-                                                       od_abs)
+                                                       od_abs, probes=bus)
                 probe.optional_end[part_index] = outcome.ended_at
                 probe.optional_fate[part_index] = outcome.fate
+                if bus.active:
+                    bus.publish(
+                        "rtseed.optional_end", task=task.name,
+                        part=part_index, job=job_index, tid=thread.tid,
+                        fate=outcome.fate,
+                        duration=outcome.ended_at - outcome.started_at,
+                    )
 
                 # endOptionalPart(): last part wakes the mandatory thread
                 yield MutexLock(self._done_mutex)

@@ -16,6 +16,13 @@ C++ try / catch          yes                    **no** — the next job's
 
 Each strategy wraps the user's ``exec_optional`` generator and returns
 an :class:`OptionalOutcome`.
+
+When a probe bus is passed to :meth:`TerminationStrategy.run`, each
+outcome is published as ``termination.completed`` (with the part's
+duration) or ``termination.terminated`` (with the overrun past the
+optional deadline — the user-space termination latency the paper's
+Table I trades off).  The strategy instances in :data:`STRATEGIES` are
+shared, so the bus travels as a call argument, never instance state.
 """
 
 from repro.simkernel.errors import SignalUnwind
@@ -41,6 +48,23 @@ class OptionalOutcome:
         return f"<OptionalOutcome {self.fate} at {self.ended_at:.0f}>"
 
 
+def _publish_outcome(probes, strategy, outcome, od_abs):
+    """Publish one part's fate on the bus (no-op when unobserved)."""
+    if probes is None or not probes.active:
+        return
+    if outcome.completed:
+        probes.publish(
+            "termination.completed", strategy=strategy.name,
+            duration=outcome.ended_at - outcome.started_at,
+        )
+    else:
+        probes.publish(
+            "termination.terminated", strategy=strategy.name,
+            duration=outcome.ended_at - outcome.started_at,
+            overrun=outcome.ended_at - od_abs,
+        )
+
+
 class TerminationStrategy:
     """Interface.  ``run`` is a generator; its return value (via
     StopIteration) is an :class:`OptionalOutcome`."""
@@ -57,9 +81,14 @@ class TerminationStrategy:
         return
         yield  # pragma: no cover
 
-    def run(self, body, timer, od_abs):
+    def run(self, body, timer, od_abs, probes=None):
         """Execute ``body`` (the user's optional generator) until it
-        completes or the strategy terminates it at ``od_abs``."""
+        completes or the strategy terminates it at ``od_abs``.
+
+        :param probes: optional :class:`repro.obs.bus.ProbeBus`; when
+            active, the outcome is published as a ``termination.*``
+            event.
+        """
         raise NotImplementedError
 
 
@@ -75,7 +104,7 @@ class SigjmpTermination(TerminationStrategy):
     def setup(self, timer):
         yield Sigaction(SIGALRM, UnwindDisposition(restore_mask=True))
 
-    def run(self, body, timer, od_abs):
+    def run(self, body, timer, od_abs, probes=None):
         started_at = yield GetTime()
         try:
             # sigsetjmp(...) == 0 branch: arm the one-shot timer and run.
@@ -84,11 +113,13 @@ class SigjmpTermination(TerminationStrategy):
             # Completed: stop the optional deadline timer.
             yield TimerSettime(timer, None)
             ended_at = yield GetTime()
-            return OptionalOutcome(True, started_at, ended_at)
+            outcome = OptionalOutcome(True, started_at, ended_at)
         except SignalUnwind:
             # siglongjmp landed: stack context and signal mask restored.
             ended_at = yield GetTime()
-            return OptionalOutcome(False, started_at, ended_at)
+            outcome = OptionalOutcome(False, started_at, ended_at)
+        _publish_outcome(probes, self, outcome, od_abs)
+        return outcome
 
 
 class TryCatchTermination(TerminationStrategy):
@@ -107,17 +138,19 @@ class TryCatchTermination(TerminationStrategy):
     def setup(self, timer):
         yield Sigaction(SIGALRM, UnwindDisposition(restore_mask=False))
 
-    def run(self, body, timer, od_abs):
+    def run(self, body, timer, od_abs, probes=None):
         started_at = yield GetTime()
         try:
             yield TimerSettime(timer, od_abs)
             yield from body
             yield TimerSettime(timer, None)
             ended_at = yield GetTime()
-            return OptionalOutcome(True, started_at, ended_at)
+            outcome = OptionalOutcome(True, started_at, ended_at)
         except SignalUnwind:
             ended_at = yield GetTime()
-            return OptionalOutcome(False, started_at, ended_at)
+            outcome = OptionalOutcome(False, started_at, ended_at)
+        _publish_outcome(probes, self, outcome, od_abs)
+        return outcome
 
 
 class PeriodicCheckTermination(TerminationStrategy):
@@ -133,7 +166,7 @@ class PeriodicCheckTermination(TerminationStrategy):
     any_time_termination = False
     restores_signal_mask = True  # trivially: nothing is ever masked
 
-    def run(self, body, timer, od_abs):
+    def run(self, body, timer, od_abs, probes=None):
         started_at = yield GetTime()
         completed = True
         try:
@@ -152,7 +185,9 @@ class PeriodicCheckTermination(TerminationStrategy):
             except StopIteration:
                 break
         ended_at = yield GetTime()
-        return OptionalOutcome(completed, started_at, ended_at)
+        outcome = OptionalOutcome(completed, started_at, ended_at)
+        _publish_outcome(probes, self, outcome, od_abs)
+        return outcome
 
 
 #: Registry for harness/CLI use.

@@ -137,7 +137,7 @@ class SchedClass:
 
     def make_queue(self, cpu_id=0):
         """A ready queue whose ordering matches :meth:`priority_key`."""
-        return HeapReadyQueue(self.priority_key)
+        return HeapReadyQueue(self.priority_key, cpu_id=cpu_id)
 
     def enqueue(self, rq, entity, at_head=False):
         """Make ``entity`` ready on ``rq``.

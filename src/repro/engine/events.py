@@ -80,6 +80,10 @@ class Engine:
         self._events_processed = 0
         self._pending = 0
         self._cancelled = 0
+        #: optional :class:`repro.obs.bus.ProbeBus` (duck-typed — the
+        #: engine stays import-free).  Sites guard on ``probes.active``
+        #: so an unobserved engine pays one attribute test per event.
+        self.probes = None
 
     @property
     def events_processed(self):
@@ -141,6 +145,7 @@ class Engine:
             return
         if self._cancelled * 2 <= len(self._heap):
             return
+        swept = self._cancelled
         survivors = []
         for entry in self._heap:
             if entry[3].cancelled:
@@ -150,6 +155,10 @@ class Engine:
         self._heap = survivors
         heapq.heapify(self._heap)
         self._cancelled = 0
+        probes = self.probes
+        if probes is not None and probes.active:
+            probes.publish("engine.compact", swept=swept,
+                           survivors=len(survivors))
 
     def _pop_cancelled_top(self):
         """Drop cancelled entries sitting at the top of the heap."""
@@ -180,6 +189,10 @@ class Engine:
             self._pending -= 1
             self.now = event.time
             self._events_processed += 1
+            probes = self.probes
+            if probes is not None and probes.active:
+                probes.publish("engine.event_pop", priority=event.priority,
+                               seq=event.seq)
             event.callback()
             return True
         return False

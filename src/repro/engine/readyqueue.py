@@ -54,12 +54,17 @@ class HeapReadyQueue:
     cannot be recycled into a false match while the tuple exists).
     """
 
-    def __init__(self, key):
+    def __init__(self, key, cpu_id=None):
+        self.cpu_id = cpu_id
         self._key = key
         self._heap = []
         self._live = {}
         self._seq = 0
         self._removed = 0
+        #: optional probe bus (duck-typed; see :mod:`repro.obs.bus`).
+        #: Owned by whoever built the queue — the kernel wires its run
+        #: queues to its bus; standalone queues stay unobserved.
+        self.probes = None
 
     def __len__(self):
         return len(self._live)
@@ -83,6 +88,10 @@ class HeapReadyQueue:
         self._seq += 1
         self._live[id(item)] = self._seq
         heapq.heappush(self._heap, (self._key(item), self._seq, item))
+        probes = self.probes
+        if probes is not None and probes.active:
+            probes.publish("rq.enqueue", cpu=self.cpu_id,
+                           depth=len(self._live))
 
     def remove(self, item):
         """Remove ``item`` from anywhere in the queue (lazy)."""
@@ -90,6 +99,10 @@ class HeapReadyQueue:
             raise ReadyQueueError(f"{item!r} not enqueued")
         self._removed += 1
         self._maybe_compact()
+        probes = self.probes
+        if probes is not None and probes.active:
+            probes.publish("rq.dequeue", cpu=self.cpu_id,
+                           depth=len(self._live))
 
     def _maybe_compact(self):
         if self._removed < _COMPACT_MIN_REMOVED:
@@ -132,6 +145,10 @@ class HeapReadyQueue:
             raise ReadyQueueError("pop from empty ready queue")
         _key, _seq, item = heapq.heappop(self._heap)
         del self._live[id(item)]
+        probes = self.probes
+        if probes is not None and probes.active:
+            probes.publish("rq.pop", cpu=self.cpu_id,
+                           depth=len(self._live))
         return item
 
     def pop_upto(self, n):
@@ -299,6 +316,8 @@ class IndexedLevelQueue:
         self._levels = [CircularDList() for _ in range(max_prio + 1)]
         self._bitmap = PriorityBitmap()
         self._count = 0
+        #: optional probe bus (duck-typed; see :class:`HeapReadyQueue`).
+        self.probes = None
 
     def __len__(self):
         return self._count
@@ -334,6 +353,10 @@ class IndexedLevelQueue:
             level.push_tail(item)
         self._bitmap.set(prio)
         self._count += 1
+        probes = self.probes
+        if probes is not None and probes.active:
+            probes.publish("rq.enqueue", cpu=self.cpu_id, prio=prio,
+                           depth=self._count)
 
     def dequeue(self, item, prio):
         """Remove a specific item (e.g. a thread killed while ready)."""
@@ -343,6 +366,10 @@ class IndexedLevelQueue:
         if not level:
             self._bitmap.clear(prio)
         self._count -= 1
+        probes = self.probes
+        if probes is not None and probes.active:
+            probes.publish("rq.dequeue", cpu=self.cpu_id, prio=prio,
+                           depth=self._count)
 
     def peek(self):
         """``(item, prio)`` of the most urgent ready item, or ``None``."""
@@ -363,6 +390,10 @@ class IndexedLevelQueue:
         if not level:
             self._bitmap.clear(prio)
         self._count -= 1
+        probes = self.probes
+        if probes is not None and probes.active:
+            probes.publish("rq.pop", cpu=self.cpu_id, prio=prio,
+                           depth=self._count)
         return item, prio
 
     def highest_priority(self):

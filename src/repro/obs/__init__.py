@@ -1,0 +1,52 @@
+"""``repro.obs`` — the cross-layer observability subsystem.
+
+One probe bus, many subscribers::
+
+    from repro.obs import ChromeTraceExporter, SchedulerMetrics
+    from repro.simkernel.trace import Tracer
+
+    middleware = RTSeed(...)
+    kernel = middleware.kernel
+    exporter = ChromeTraceExporter.attach(kernel)   # Perfetto trace
+    metrics = SchedulerMetrics.attach(kernel)       # quantile registry
+    tracer = Tracer.attach(kernel)                  # ASCII Gantt
+    middleware.run()
+    exporter.write("trace.json")                    # load in Perfetto
+    print(metrics.format())
+
+With *no* subscriber attached the probe sites cost one attribute test
+each — the default run is effectively unobserved.  See
+``docs/OBSERVABILITY.md`` for the probe-site table and workflows.
+"""
+
+from repro.obs.bus import PROBE_SITES, ProbeBus
+from repro.obs.export import (
+    ChromeTraceExporter,
+    JsonlExporter,
+    TraceValidationError,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SchedulerMetrics,
+)
+from repro.obs.profile import NullProfile, WallClockProfile
+
+__all__ = [
+    "PROBE_SITES",
+    "ProbeBus",
+    "ChromeTraceExporter",
+    "JsonlExporter",
+    "TraceValidationError",
+    "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SchedulerMetrics",
+    "NullProfile",
+    "WallClockProfile",
+]

@@ -1,0 +1,220 @@
+"""The probe bus: cross-layer observability fan-out.
+
+Every instrumented layer (the DES engine, the ready queues, the
+simulated kernel, the RT-Seed middleware, the trading application)
+publishes *probe events* to one :class:`ProbeBus`.  Subscribers —
+tracers, metrics registries, trace exporters — attach to the bus, so
+any number of them coexist on one run (the single-callback
+``kernel.on_event`` hook could hold only one observer).
+
+Design constraints, in order:
+
+1. **Near-zero cost when idle.**  Probe sites guard on the single
+   attribute read ``bus.active`` (kept in sync by subscribe /
+   unsubscribe), so an unobserved run pays one boolean test per site
+   and never builds a payload.
+2. **Simulated-time stamping.**  The bus stamps every event with
+   ``clock.now`` at publish, so probe sites never thread timestamps
+   through and data-structure layers (ready queues) that have no clock
+   of their own still emit correctly stamped events.
+3. **Deterministic fan-out.**  Subscribers are called in subscription
+   order; payloads are plain dicts of JSON-serializable values (names,
+   tids, numbers — never live objects), which is what makes exported
+   traces of a deterministic run byte-reproducible.
+
+Topic names are dotted, ``<layer>.<event>`` (``kernel.dispatch``,
+``rtseed.job_done``); subscriptions filter by exact topic or by a
+``"layer.*"`` prefix pattern.  :data:`PROBE_SITES` documents every
+topic published by the instrumented tree.
+"""
+
+#: Every probe topic published by the instrumented layers, with the
+#: publishing module and payload fields (beyond the implicit timestamp).
+#: Kept as data so the docs table and the tests cannot drift from the
+#: code without failing.
+PROBE_SITES = {
+    # -- repro.engine.events -------------------------------------------
+    "engine.event_pop": (
+        "engine/events.py", "one DES event executed; fields: priority, seq"),
+    "engine.compact": (
+        "engine/events.py",
+        "lazy-cancel heap compaction; fields: swept, survivors"),
+    # -- repro.engine.readyqueue ---------------------------------------
+    "rq.enqueue": (
+        "engine/readyqueue.py",
+        "item became ready; fields: cpu, prio (level queues), depth"),
+    "rq.dequeue": (
+        "engine/readyqueue.py",
+        "item removed without dispatch; fields: cpu, prio, depth"),
+    "rq.pop": (
+        "engine/readyqueue.py",
+        "most-urgent item popped for dispatch; fields: cpu, prio, depth"),
+    # -- repro.simkernel.kernel (all carry thread, tid, cpu, prio) -----
+    "kernel.spawn": ("simkernel/kernel.py", "thread registered"),
+    "kernel.ready": ("simkernel/kernel.py", "thread became READY"),
+    "kernel.dispatch": ("simkernel/kernel.py", "thread switched in"),
+    "kernel.preempt": ("simkernel/kernel.py", "thread switched out, READY"),
+    "kernel.block": ("simkernel/kernel.py", "thread blocked"),
+    "kernel.yield": ("simkernel/kernel.py", "sched_yield: requeued at tail"),
+    "kernel.thread_exit": ("simkernel/kernel.py", "thread terminated"),
+    "kernel.sleep_expire": ("simkernel/kernel.py", "clock_nanosleep expiry"),
+    "kernel.cond_signal": ("simkernel/kernel.py", "pthread_cond_signal"),
+    "kernel.cond_broadcast": ("simkernel/kernel.py", "pthread_cond_broadcast"),
+    "kernel.signal_post": (
+        "simkernel/kernel.py", "signal posted; fields: signum"),
+    "kernel.signal_blocked": (
+        "simkernel/kernel.py", "signal queued against the mask"),
+    "kernel.signal_deliver": (
+        "simkernel/kernel.py",
+        "unwind delivery; fields: signum, latency (post -> deliver ns)"),
+    "kernel.timer_arm": (
+        "simkernel/kernel.py", "one-shot timer armed; fields: timer, at"),
+    "kernel.timer_disarm": (
+        "simkernel/kernel.py", "timer stopped; fields: timer"),
+    "kernel.timer_expire": (
+        "simkernel/kernel.py",
+        "timer fired; fields: timer, signum, expirations"),
+    "kernel.setscheduler": (
+        "simkernel/kernel.py",
+        "sched_setscheduler; fields: old_prio, policy"),
+    "kernel.migrate": (
+        "simkernel/kernel.py",
+        "affinity moved a thread; fields: from_cpu, to_cpu"),
+    # -- repro.core.process / termination (Fig. 9 measurement points) --
+    "rtseed.release": (
+        "core/process.py", "job released; fields: task, job, release"),
+    "rtseed.mandatory_begin": (
+        "core/process.py", "mandatory part begins (the Δm point)"),
+    "rtseed.mandatory_end": ("core/process.py", "mandatory part done"),
+    "rtseed.signals_done": (
+        "core/process.py",
+        "all optional wake-ups sent; fields: delta_b (ns)"),
+    "rtseed.optional_begin": (
+        "core/process.py", "optional part begins; fields: task, part, job"),
+    "rtseed.optional_end": (
+        "core/process.py",
+        "optional part ended; fields: fate, duration (ns)"),
+    "rtseed.discard": (
+        "core/process.py",
+        "optional parts discarded (mandatory ran past OD)"),
+    "rtseed.windup_begin": (
+        "core/process.py", "wind-up begins (the Δe point)"),
+    "rtseed.windup_end": ("core/process.py", "wind-up done"),
+    "rtseed.job_done": (
+        "core/process.py",
+        "job complete; fields: response, tardiness, met, qos, "
+        "delta_m/b/s/e (ns or None)"),
+    "termination.completed": (
+        "core/termination.py",
+        "optional body finished before OD; fields: strategy, duration"),
+    "termination.terminated": (
+        "core/termination.py",
+        "optional body cut at/after OD; fields: strategy, overrun "
+        "(ns past OD — the termination latency)"),
+    # -- repro.trading.system ------------------------------------------
+    "trading.decision": (
+        "trading/system.py",
+        "wind-up decision; fields: job, kind, confidence"),
+    "trading.order": (
+        "trading/system.py",
+        "order submitted; fields: job, side, units, release "
+        "(tick-to-order latency = timestamp - release)"),
+}
+
+
+def _make_matcher(topics):
+    """Compile a topic filter into a fast ``matcher(topic) -> bool``.
+
+    ``topics`` is an iterable of exact names and/or ``"prefix.*"``
+    patterns; ``None`` matches everything.
+    """
+    if topics is None:
+        return None
+    exact = set()
+    prefixes = []
+    for topic in topics:
+        if topic.endswith(".*"):
+            prefixes.append(topic[:-1])  # keep the dot: "kernel."
+        elif topic == "*":
+            return None
+        else:
+            exact.add(topic)
+    prefix_tuple = tuple(prefixes)
+
+    if not prefix_tuple:
+        return exact.__contains__
+
+    def matcher(topic):
+        return topic in exact or topic.startswith(prefix_tuple)
+
+    return matcher
+
+
+class ProbeBus:
+    """Fan-out of probe events to any number of subscribers.
+
+    :param clock: object exposing ``.now`` (the DES engine); every
+        published event is stamped with ``clock.now``.  ``None`` stamps
+        ``0.0`` (useful for unit tests of pure data structures).
+    """
+
+    __slots__ = ("active", "_clock", "_subs", "published")
+
+    def __init__(self, clock=None):
+        #: True iff at least one subscriber is attached.  Probe sites
+        #: read this *attribute* (not a property — keep the idle path to
+        #: one LOAD_ATTR) before building any payload.
+        self.active = False
+        self._clock = clock
+        self._subs = []
+        #: events fanned out so far (diagnostics).
+        self.published = 0
+
+    @property
+    def clock(self):
+        return self._clock
+
+    @clock.setter
+    def clock(self, clock):
+        self._clock = clock
+
+    def __len__(self):
+        return len(self._subs)
+
+    def subscribe(self, fn, topics=None):
+        """Attach ``fn(topic, time, data)``; returns ``fn`` for chaining.
+
+        :param topics: iterable of exact topic names and/or ``"layer.*"``
+            prefix patterns; ``None`` subscribes to everything.
+        """
+        if any(sub_fn is fn for sub_fn, _ in self._subs):
+            raise ValueError(f"{fn!r} already subscribed")
+        self._subs.append((fn, _make_matcher(topics)))
+        self.active = True
+        return fn
+
+    def unsubscribe(self, fn):
+        """Detach a subscriber; unknown subscribers are a no-op."""
+        self._subs = [entry for entry in self._subs if entry[0] is not fn]
+        self.active = bool(self._subs)
+
+    def publish(self, topic, **data):
+        """Stamp and fan out one probe event.
+
+        No-op without subscribers — but call sites should still guard on
+        :attr:`active` so the keyword payload is never even built.
+        """
+        subs = self._subs
+        if not subs:
+            return
+        time = self._clock.now if self._clock is not None else 0.0
+        self.published += 1
+        for fn, matcher in subs:
+            if matcher is None or matcher(topic):
+                fn(topic, time, data)
+
+    def __repr__(self):
+        return (
+            f"<ProbeBus subscribers={len(self._subs)} "
+            f"published={self.published}>"
+        )

@@ -1,0 +1,328 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and JSONL.
+
+:class:`ChromeTraceExporter` subscribes to a kernel's probe bus and
+builds a `Chrome trace-event format`__ document that loads directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* **one track per CPU** (pid 1, tid = CPU id): ``B``/``E`` spans naming
+  the thread occupying that hardware thread, reconstructed from
+  dispatch/preempt/block/yield/exit events;
+* **one track per thread** (pid 2, tid = per-run dense thread index):
+  spans for the middleware protocol phases (mandatory / optional /
+  wind-up) and instants for releases, signal deliveries, timer
+  expiries, and discards.
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+Timestamps are simulated nanoseconds converted to the format's
+microseconds.  Thread ids are remapped to first-seen dense indices so
+two identical seeded runs export **byte-identical** documents even
+though ``KernelThread.tid`` is a process-global counter.
+
+:class:`JsonlExporter` is the low-tech sibling: every probe event as
+one JSON line on a stream, suitable for ``jq`` pipelines and diffing
+deterministic runs.
+"""
+
+import json
+
+from repro.simkernel.signals import signal_name
+
+
+class TraceValidationError(Exception):
+    """An exported document violates the trace-event schema."""
+
+
+class ChromeTraceExporter:
+    """Build a Perfetto-loadable trace from probe-bus events.
+
+    :param clock: object exposing ``.now``; used by :meth:`close` to
+        end still-open spans at the final simulated time.
+    """
+
+    TOPICS = ("kernel.*", "rtseed.*", "trading.*")
+
+    #: pid of the per-CPU occupancy tracks.
+    CPU_PID = 1
+    #: pid of the per-thread protocol-phase tracks.
+    THREAD_PID = 2
+
+    def __init__(self, clock=None):
+        self.clock = clock
+        self.events = []
+        self._bus = None
+        #: cpu -> (thread_name, tid) currently occupying it.
+        self._running = {}
+        #: raw tid -> dense per-run index (determinism across runs).
+        self._tid_map = {}
+        #: dense tid -> open phase-span count (sanity bookkeeping).
+        self._open_phases = {}
+        self._thread_names = {}
+        self._seen_cpus = set()
+
+    @classmethod
+    def attach(cls, kernel):
+        """Create an exporter and subscribe it to ``kernel.probes``."""
+        exporter = cls(clock=kernel.engine)
+        exporter._bus = kernel.probes
+        kernel.probes.subscribe(exporter, topics=cls.TOPICS)
+        return exporter
+
+    def detach(self):
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+
+    # -- event construction --------------------------------------------
+
+    def _dense_tid(self, tid):
+        dense = self._tid_map.get(tid)
+        if dense is None:
+            dense = self._tid_map[tid] = len(self._tid_map)
+        return dense
+
+    def _emit(self, name, phase, time, pid, tid, cat, args=None):
+        event = {
+            "name": name,
+            "ph": phase,
+            "ts": time / 1000.0,  # sim ns -> trace-format us
+            "pid": pid,
+            "tid": tid,
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def _open_cpu(self, cpu, thread_name, tid, time):
+        self._seen_cpus.add(cpu)
+        self._running[cpu] = (thread_name, tid)
+        self._emit(thread_name, "B", time, self.CPU_PID, cpu, "cpu")
+
+    def _close_cpu(self, cpu, tid, time):
+        current = self._running.get(cpu)
+        if current is not None and current[1] == tid:
+            del self._running[cpu]
+            self._emit(current[0], "E", time, self.CPU_PID, cpu, "cpu")
+
+    def _phase(self, phase, name, time, tid, args=None):
+        dense = self._dense_tid(tid)
+        if phase == "B":
+            self._open_phases[dense] = self._open_phases.get(dense, 0) + 1
+        else:
+            self._open_phases[dense] = self._open_phases.get(dense, 1) - 1
+        self._emit(name, phase, time, self.THREAD_PID, dense, "rtseed",
+                   args)
+
+    def _instant(self, name, time, tid, cat, args=None):
+        self._emit(name, "I", time, self.THREAD_PID, self._dense_tid(tid),
+                   cat, args)
+
+    # -- the subscriber ------------------------------------------------
+
+    def __call__(self, topic, time, data):
+        tid = data.get("tid")
+        if tid is not None:
+            dense = self._dense_tid(tid)
+            self._thread_names.setdefault(dense, data.get("thread", "?"))
+        elif topic.startswith("trading."):
+            # trading events are published from task bodies that never
+            # see their thread object; give them one shared track
+            self._thread_names.setdefault(self._dense_tid(None),
+                                          "trading")
+
+        if topic == "kernel.dispatch":
+            cpu = data["cpu"]
+            current = self._running.get(cpu)
+            if current is not None:  # defensive: close a dangling span
+                self._close_cpu(cpu, current[1], time)
+            self._open_cpu(cpu, data["thread"], tid, time)
+        elif topic in ("kernel.preempt", "kernel.block", "kernel.yield",
+                       "kernel.thread_exit"):
+            self._close_cpu(data["cpu"], tid, time)
+        elif topic == "kernel.migrate":
+            self._close_cpu(data["from_cpu"], tid, time)
+            self._instant("migrate", time, tid,
+                          "kernel", {"from": data["from_cpu"],
+                                     "to": data["to_cpu"]})
+        elif topic == "kernel.signal_deliver":
+            self._instant(signal_name(data["signum"]), time, tid,
+                          "kernel", {"signum": data["signum"],
+                                     "latency_ns": data["latency"]})
+        elif topic == "kernel.timer_expire":
+            self._instant(data["timer"], time, tid, "timer",
+                          {"signum": data["signum"]})
+        elif topic == "rtseed.release":
+            self._instant(f"release#{data['job']}", time, tid, "rtseed",
+                          {"task": data["task"]})
+        elif topic == "rtseed.mandatory_begin":
+            self._phase("B", "mandatory", time, tid,
+                        {"task": data["task"], "job": data["job"]})
+        elif topic == "rtseed.mandatory_end":
+            self._phase("E", "mandatory", time, tid)
+        elif topic == "rtseed.optional_begin":
+            self._phase("B", f"optional[{data['part']}]", time, tid,
+                        {"task": data["task"], "job": data["job"]})
+        elif topic == "rtseed.optional_end":
+            self._phase("E", f"optional[{data['part']}]", time, tid,
+                        {"fate": data["fate"]})
+        elif topic == "rtseed.windup_begin":
+            self._phase("B", "windup", time, tid,
+                        {"task": data["task"], "job": data["job"]})
+        elif topic == "rtseed.windup_end":
+            self._phase("E", "windup", time, tid)
+        elif topic == "rtseed.discard":
+            self._instant("discard", time, tid, "rtseed",
+                          {"task": data["task"],
+                           "n_parts": data["n_parts"]})
+        elif topic == "trading.decision":
+            self._instant(f"decision[{data['kind']}]", time, tid,
+                          "trading", {"job": data["job"],
+                                      "confidence": data["confidence"]})
+        elif topic == "trading.order":
+            self._instant(f"order[{data['side']}]", time, tid, "trading",
+                          {"job": data["job"], "units": data["units"]})
+
+    # -- finishing / output --------------------------------------------
+
+    def close(self, at_time=None):
+        """End every still-open span (idempotent); call after the run."""
+        if at_time is None:
+            at_time = self.clock.now if self.clock is not None else 0.0
+        for cpu in sorted(self._running):
+            name, _tid = self._running[cpu]
+            self._emit(name, "E", at_time, self.CPU_PID, cpu, "cpu")
+        self._running.clear()
+        for dense in sorted(self._open_phases):
+            for _ in range(max(self._open_phases[dense], 0)):
+                self._emit("(unfinished)", "E", at_time, self.THREAD_PID,
+                           dense, "rtseed")
+        self._open_phases.clear()
+
+    def _metadata(self):
+        """Process/thread naming events (Perfetto track labels)."""
+        meta = [
+            {"name": "process_name", "ph": "M", "pid": self.CPU_PID,
+             "tid": 0, "args": {"name": "CPUs"}},
+            {"name": "process_name", "ph": "M", "pid": self.THREAD_PID,
+             "tid": 0, "args": {"name": "threads"}},
+        ]
+        for cpu in sorted(self._seen_cpus):
+            meta.append({"name": "thread_name", "ph": "M",
+                         "pid": self.CPU_PID, "tid": cpu,
+                         "args": {"name": f"cpu{cpu}"}})
+        for dense in sorted(self._thread_names):
+            meta.append({"name": "thread_name", "ph": "M",
+                         "pid": self.THREAD_PID, "tid": dense,
+                         "args": {"name": self._thread_names[dense]}})
+        return meta
+
+    def to_dict(self):
+        """The complete trace document (close spans first)."""
+        self.close()
+        return {
+            "traceEvents": self._metadata() + self.events,
+            "displayTimeUnit": "ms",
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), separators=(",", ":"),
+                          sort_keys=False)
+
+    def write(self, path):
+        """Validate and write the trace document to ``path``."""
+        document = self.to_dict()
+        validate_chrome_trace(document)
+        with open(path, "w") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+        return path
+
+
+def validate_chrome_trace(document):
+    """Check a trace document against the schema Perfetto relies on.
+
+    Raises :class:`TraceValidationError` on: missing keys, unknown
+    phases, non-monotonic timestamps within a track, or unbalanced
+    ``B``/``E`` nesting per ``(pid, tid)`` track.  Returns the number
+    of trace events checked.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise TraceValidationError("missing traceEvents array")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceValidationError("traceEvents is not a list")
+    stacks = {}
+    last_ts = {}
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise TraceValidationError(
+                    f"event #{index} missing {key!r}: {event!r}"
+                )
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        if phase not in ("B", "E", "I", "X"):
+            raise TraceValidationError(
+                f"event #{index} has unknown phase {phase!r}"
+            )
+        if "ts" not in event:
+            raise TraceValidationError(f"event #{index} missing ts")
+        track = (event["pid"], event["tid"])
+        if event["ts"] < last_ts.get(track, float("-inf")):
+            raise TraceValidationError(
+                f"event #{index} time-travels on track {track}: "
+                f"{event['ts']} < {last_ts[track]}"
+            )
+        last_ts[track] = event["ts"]
+        if phase == "B":
+            stacks.setdefault(track, []).append(event["name"])
+        elif phase == "E":
+            stack = stacks.get(track)
+            if not stack:
+                raise TraceValidationError(
+                    f"event #{index}: E without open B on track {track}"
+                )
+            stack.pop()
+    for track, stack in stacks.items():
+        if stack:
+            raise TraceValidationError(
+                f"track {track} left {len(stack)} span(s) open: {stack}"
+            )
+    return len(events)
+
+
+class JsonlExporter:
+    """Stream every probe event as one JSON line.
+
+    :param stream: writable text stream (kept open; caller owns it).
+    :param topics: topic filter (default: kernel + middleware + trading;
+        pass ``("*",)`` to include the raw engine firehose).
+    """
+
+    TOPICS = ("kernel.*", "rtseed.*", "termination.*", "trading.*")
+
+    def __init__(self, stream, topics=None):
+        self.stream = stream
+        self.topics = tuple(topics) if topics is not None else self.TOPICS
+        self.lines = 0
+        self._bus = None
+
+    @classmethod
+    def attach(cls, kernel, stream, topics=None):
+        exporter = cls(stream, topics=topics)
+        exporter._bus = kernel.probes
+        kernel.probes.subscribe(exporter, topics=exporter.topics)
+        return exporter
+
+    def detach(self):
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+
+    def __call__(self, topic, time, data):
+        record = {"t": time, "topic": topic}
+        record.update(data)
+        self.stream.write(json.dumps(record, separators=(",", ":")))
+        self.stream.write("\n")
+        self.lines += 1

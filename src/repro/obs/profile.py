@@ -1,0 +1,124 @@
+"""Wall-clock profiling for the benchmark harness.
+
+The rest of :mod:`repro.obs` observes *simulated* time; this module is
+the one place wall-clock enters: benchmarks wrap their phases in
+:meth:`WallClockProfile.section` to see where real seconds go
+(ROADMAP's fast-as-hardware-allows goal needs both clocks visible).
+
+Usage::
+
+    profile = WallClockProfile()
+    with profile.section("fig10"):
+        run_fig10()
+    with profile.section("export"):
+        exporter.write(path)
+    print(profile.format())
+
+:class:`NullProfile` is a no-op drop-in so library code can accept a
+``profile=`` argument without conditioning every call site.
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class _Section:
+    __slots__ = ("calls", "seconds", "min", "max")
+
+    def __init__(self):
+        self.calls = 0
+        self.seconds = 0.0
+        self.min = None
+        self.max = None
+
+    def add(self, elapsed):
+        self.calls += 1
+        self.seconds += elapsed
+        if self.min is None or elapsed < self.min:
+            self.min = elapsed
+        if self.max is None or elapsed > self.max:
+            self.max = elapsed
+
+
+class WallClockProfile:
+    """Accumulate wall-clock time per named section."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._sections = {}
+
+    @contextmanager
+    def section(self, name):
+        """Context manager timing one block; nests and repeats freely."""
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            self.add(name, self._clock() - start)
+
+    def add(self, name, seconds):
+        """Record an externally measured duration."""
+        section = self._sections.get(name)
+        if section is None:
+            section = self._sections[name] = _Section()
+        section.add(seconds)
+
+    def wrap(self, name, fn):
+        """Return ``fn`` wrapped so every call is timed under ``name``."""
+        def timed(*args, **kwargs):
+            with self.section(name):
+                return fn(*args, **kwargs)
+        return timed
+
+    def report(self):
+        """Dict report: name -> {calls, seconds, mean_ms, min_ms, max_ms}."""
+        out = {}
+        for name, section in self._sections.items():
+            out[name] = {
+                "calls": section.calls,
+                "seconds": round(section.seconds, 6),
+                "mean_ms": round(
+                    section.seconds / section.calls * 1000.0, 3
+                ),
+                "min_ms": round(section.min * 1000.0, 3),
+                "max_ms": round(section.max * 1000.0, 3),
+            }
+        return out
+
+    def format(self):
+        """Aligned text table of the report, slowest section first."""
+        report = self.report()
+        if not report:
+            return "(no sections recorded)"
+        lines = [
+            f"{'section':30s} {'calls':>6s} {'total [s]':>10s} "
+            f"{'mean [ms]':>10s} {'max [ms]':>10s}"
+        ]
+        for name, row in sorted(
+            report.items(), key=lambda item: -item[1]["seconds"]
+        ):
+            lines.append(
+                f"{name:30s} {row['calls']:>6d} {row['seconds']:>10.4f} "
+                f"{row['mean_ms']:>10.3f} {row['max_ms']:>10.3f}"
+            )
+        return "\n".join(lines)
+
+
+class NullProfile:
+    """No-op stand-in accepted anywhere a profile is."""
+
+    @contextmanager
+    def section(self, name):
+        yield self
+
+    def add(self, name, seconds):
+        pass
+
+    def wrap(self, name, fn):
+        return fn
+
+    def report(self):
+        return {}
+
+    def format(self):
+        return "(profiling disabled)"

@@ -28,6 +28,7 @@ from functools import partial
 
 from repro.engine.classes import get_sched_class
 from repro.engine.events import Engine
+from repro.obs.bus import ProbeBus
 from repro.simkernel.costmodel import ZeroCostModel
 from repro.simkernel.errors import (
     DeadlockError,
@@ -85,18 +86,31 @@ class Kernel:
         (:class:`~repro.engine.classes.Fifo99Class`), which is what the
         paper's middleware relies on; the kernel itself contains no
         priority-ordering logic.
+    :param probe_bus: optionally share a
+        :class:`~repro.obs.bus.ProbeBus`; a fresh (idle) bus is created
+        otherwise and wired into the engine and run queues, so
+        observers attach with zero setup and an unobserved run pays one
+        boolean test per probe site.
     """
 
     def __init__(self, topology, cost_model=None, engine=None,
-                 sched_class=None):
+                 sched_class=None, probe_bus=None):
         self.topology = topology
         self.cost_model = cost_model or ZeroCostModel()
         self.engine = engine or Engine()
+        self.probes = probe_bus if probe_bus is not None \
+            else ProbeBus(clock=self.engine)
+        if self.probes.clock is None:
+            self.probes.clock = self.engine
+        if self.engine.probes is None:
+            self.engine.probes = self.probes
         self.sched_class = get_sched_class(sched_class or "fifo")
         n = topology.n_cpus
         self.runqueues = [
             self.sched_class.make_queue(cpu) for cpu in range(n)
         ]
+        for runqueue in self.runqueues:
+            runqueue.probes = self.probes
         self.other_queues = [deque() for _ in range(n)]
         self.current = [None] * n
         self.threads = []
@@ -108,6 +122,9 @@ class Kernel:
         self._last_running = [None] * n
         self._resched_pending = [False] * n
         self._core_computing = [set() for _ in range(topology.n_cores)]
+        #: (tid, signum) -> post time, for signal-delivery-latency probes
+        #: (maintained only while the bus has subscribers).
+        self._signal_posted = {}
         #: optional observer: callable(event_name, thread, time) for traces.
         self.on_event = None
 
@@ -179,6 +196,9 @@ class Kernel:
         disposition = thread.signal_handlers.get(signum, SIG_DFL)
         if disposition == SIG_IGN:
             return
+        if self.probes.active:
+            self._signal_posted[(thread.tid, signum)] = self.engine.now
+            self._emit("signal_post", thread, signum=signum)
         if signum in thread.signal_mask:
             thread.pending_signals.append(signum)
             self._emit("signal_blocked", thread)
@@ -211,9 +231,17 @@ class Kernel:
         if not 0 <= cpu < self.topology.n_cpus:
             raise SchedulingError(f"CPU {cpu} out of range")
 
-    def _emit(self, name, thread):
+    def _emit(self, name, thread, **extra):
+        """Publish a thread-lifecycle event to the legacy ``on_event``
+        hook and (as ``kernel.<name>`` with a uniform thread/tid/cpu/prio
+        payload plus ``extra``) to the probe bus."""
         if self.on_event is not None:
             self.on_event(name, thread, self.engine.now)
+        probes = self.probes
+        if probes.active:
+            probes.publish("kernel." + name, thread=thread.name,
+                           tid=thread.tid, cpu=thread.cpu,
+                           prio=thread.priority, **extra)
 
     def _vacate_cpu(self, cpu):
         """Mark a CPU free of simulated threads (background resumes)."""
@@ -676,23 +704,32 @@ class Kernel:
         timer = request.timer
         if timer.deleted:
             raise SyscallError(f"timer_settime on deleted {timer.name}")
-        if timer.event is not None:
+        was_armed = timer.event is not None
+        if was_armed:
             self.engine.cancel(timer.event)
             timer.event = None
             timer.expires_at = None
         if request.at is not None:
             expires = max(request.at, self.engine.now)
             timer.expires_at = expires
+            timer.arm_count += 1
             timer.event = self.engine.schedule_at(
                 expires, partial(self._timer_expire, timer)
             )
+            if self.probes.active:
+                self._emit("timer_arm", thread, timer=timer.name,
+                           at=expires)
+        elif was_armed and self.probes.active:
+            self._emit("timer_disarm", thread, timer=timer.name)
         return self._charge_syscall_cost(thread, cost)
 
     def _timer_expire(self, timer):
         timer.event = None
         timer.expires_at = None
         timer.expirations += 1
-        self._emit("timer_expire", timer.owner)
+        timer.last_expired_at = self.engine.now
+        self._emit("timer_expire", timer.owner, timer=timer.name,
+                   signum=timer.signum, expirations=timer.expirations)
         self.post_signal(timer.owner, timer.signum)
 
     def _sys_set_signal_mask(self, thread, request, cost):
@@ -702,6 +739,7 @@ class Kernel:
         return self._charge_syscall_cost(thread, cost)
 
     def _sys_setscheduler(self, thread, request, cost):
+        old_prio = thread.priority
         thread.policy = request.policy
         if request.policy is SchedPolicy.FIFO:
             min_prio = getattr(self.sched_class, "min_prio", 1)
@@ -711,6 +749,11 @@ class Kernel:
                     f"priority {request.priority} outside FIFO range"
                 )
             thread.priority = request.priority
+        if self.probes.active:
+            # priority-band transitions (HPQ/RTQ/NRTQ) are derived from
+            # these by the metrics/export layers
+            self._emit("setscheduler", thread, old_prio=old_prio,
+                       policy=request.policy.value)
         self._request_resched(thread.cpu)
         return self._charge_syscall_cost(thread, cost)
 
@@ -720,6 +763,8 @@ class Kernel:
         old_cpu = target.cpu
         if old_cpu == request.cpu:
             return self._charge_syscall_cost(thread, cost)
+        self._emit("migrate", target, from_cpu=old_cpu,
+                   to_cpu=request.cpu)
         if target.state is ThreadState.READY:
             self._dequeue_ready(target)
             target.cpu = request.cpu
@@ -753,6 +798,7 @@ class Kernel:
         else:
             self.other_queues[cpu].append(thread)
         self._core_changed(self.topology.core_of(cpu))
+        self._emit("yield", thread)
         self._request_resched(cpu)
         return False
 
@@ -776,6 +822,12 @@ class Kernel:
         self._deliver_signal(thread, signum, disposition)
 
     def _deliver_signal(self, thread, signum, disposition):
+        #: delivery latency (post -> deliver) for the probe bus; popped
+        #: for every disposition so the bookkeeping dict cannot grow.
+        posted_at = self._signal_posted.pop((thread.tid, signum), None)
+        signal_latency = (
+            self.engine.now - posted_at if posted_at is not None else None
+        )
         if disposition == SIG_DFL:
             raise SyscallError(
                 f"signal {signum} with default disposition delivered to "
@@ -787,7 +839,8 @@ class Kernel:
         if not isinstance(disposition, UnwindDisposition):
             raise SyscallError(f"unknown disposition {disposition!r}")
 
-        self._emit("signal_deliver", thread)
+        self._emit("signal_deliver", thread, signum=signum,
+                   latency=signal_latency)
         if disposition.on_deliver is not None:
             disposition.on_deliver(thread, self.engine.now)
 

@@ -15,6 +15,18 @@ SIGALRM = 14
 SIGTERM = 15
 SIGUSR1 = 10
 
+#: Number -> name, for probe payloads and trace labels.
+SIGNAL_NAMES = {
+    SIGUSR1: "SIGUSR1",
+    SIGALRM: "SIGALRM",
+    SIGTERM: "SIGTERM",
+}
+
+
+def signal_name(signum):
+    """Human-readable name of a signal number (``SIG<n>`` if unknown)."""
+    return SIGNAL_NAMES.get(signum, f"SIG{signum}")
+
 #: Default disposition sentinel (delivery is an error in this simulation —
 #: nothing here should die to an unhandled signal silently).
 SIG_DFL = "SIG_DFL"

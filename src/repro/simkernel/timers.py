@@ -31,6 +31,10 @@ class KTimer:
         self.expires_at = None
         #: count of expirations (diagnostics).
         self.expirations = 0
+        #: count of arms (diagnostics; arms - expirations = early stops).
+        self.arm_count = 0
+        #: absolute time of the last expiry, else None (diagnostics).
+        self.last_expired_at = None
         #: True once deleted; further operations raise.
         self.deleted = False
 

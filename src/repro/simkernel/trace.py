@@ -1,9 +1,13 @@
 """Structured tracing for the simulated kernel.
 
-Attach a :class:`Tracer` to a kernel's ``on_event`` hook to collect a
-timeline of scheduling events (spawn, ready, dispatch, preempt, block,
-timer expiry, signal delivery, exit), query it, and render an ASCII
-Gantt chart — invaluable when debugging middleware protocols.
+:meth:`Tracer.attach` subscribes a :class:`Tracer` to the kernel's
+probe bus to collect a timeline of scheduling events (spawn, ready,
+dispatch, preempt, block, timer expiry, signal delivery, exit), query
+it, and render an ASCII Gantt chart — invaluable when debugging
+middleware protocols.  Because it rides the fan-out bus, a tracer
+coexists with metrics collectors and trace exporters on the same run
+(assigning to the single-callback ``kernel.on_event`` hook still works
+but holds exactly one observer).
 
 Usage::
 
@@ -12,20 +16,27 @@ Usage::
     print(tracer.gantt(cpu=0, start=0, end=1_000_000))
 """
 
-from collections import Counter
+from collections import Counter, deque
 
 
 class TraceRecord:
-    """One scheduling event."""
+    """One scheduling event.
 
-    __slots__ = ("time", "event", "thread_name", "tid", "cpu")
+    ``extra`` carries any event-specific payload beyond the uniform
+    thread fields (e.g. ``signum``/``latency`` for signal delivery,
+    ``from_cpu``/``to_cpu`` for migrations); it is ``None`` for plain
+    lifecycle events.
+    """
 
-    def __init__(self, time, event, thread_name, tid, cpu):
+    __slots__ = ("time", "event", "thread_name", "tid", "cpu", "extra")
+
+    def __init__(self, time, event, thread_name, tid, cpu, extra=None):
         self.time = time
         self.event = event
         self.thread_name = thread_name
         self.tid = tid
         self.cpu = cpu
+        self.extra = extra
 
     def __repr__(self):
         return (
@@ -34,32 +45,65 @@ class TraceRecord:
         )
 
 
+#: The uniform payload fields every ``kernel.*`` probe event carries.
+_STANDARD_FIELDS = ("thread", "tid", "cpu", "prio")
+
+
 class Tracer:
     """Collects kernel events; supports filtering and Gantt rendering.
 
     :param max_records: drop-oldest bound on memory (None = unbounded).
+        Enforced with a ``deque(maxlen=...)``, so eviction is O(1) per
+        record; :attr:`dropped` counts the evicted records.
     """
 
     def __init__(self, max_records=None):
-        self.records = []
+        self.records = deque(maxlen=max_records)
         self.max_records = max_records
         self.dropped = 0
+        self._bus = None
+        self._subscription = None
 
     @classmethod
     def attach(cls, kernel, max_records=None):
-        """Create a tracer and install it as the kernel's observer."""
+        """Create a tracer subscribed to the kernel's probe bus.
+
+        Other observers (metrics, exporters) can subscribe to the same
+        bus; nothing is clobbered.  Call :meth:`detach` to stop
+        collecting.
+        """
         tracer = cls(max_records=max_records)
-        kernel.on_event = tracer
+        tracer._bus = kernel.probes
+        # pin one bound-method object: the bus unsubscribes by identity
+        tracer._subscription = tracer._on_probe
+        kernel.probes.subscribe(tracer._subscription,
+                                topics=("kernel.*",))
         return tracer
 
-    def __call__(self, event, thread, time):
+    def detach(self):
+        """Unsubscribe from the bus (records stay queryable)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self._subscription)
+            self._bus = None
+            self._subscription = None
+
+    def _record(self, time, event, thread_name, tid, cpu, extra=None):
         if self.max_records is not None and \
-                len(self.records) >= self.max_records:
-            self.records.pop(0)
-            self.dropped += 1
+                len(self.records) == self.max_records:
+            self.dropped += 1  # deque(maxlen) evicts the oldest in O(1)
         self.records.append(
-            TraceRecord(time, event, thread.name, thread.tid, thread.cpu)
+            TraceRecord(time, event, thread_name, tid, cpu, extra)
         )
+
+    def _on_probe(self, topic, time, data):
+        extra = {key: value for key, value in data.items()
+                 if key not in _STANDARD_FIELDS} or None
+        self._record(time, topic[7:], data["thread"], data["tid"],
+                     data["cpu"], extra)
+
+    def __call__(self, event, thread, time):
+        """Legacy ``kernel.on_event`` observer signature."""
+        self._record(time, event, thread.name, thread.tid, thread.cpu)
 
     def __len__(self):
         return len(self.records)

@@ -79,6 +79,11 @@ class TradingTask(Task):
         self.decisions = []
         #: orders the risk manager vetoed: (job_index, RiskDecision).
         self.risk_vetoes = []
+        #: optional :class:`~repro.obs.bus.ProbeBus` (duck-typed);
+        #: :class:`RealTimeTradingSystem` wires it to the middleware's
+        #: bus so decisions and orders appear on the trace with their
+        #: tick-to-order latency.
+        self.probes = None
 
     def exec_mandatory(self, ctx):
         cost = self.fetch_cost
@@ -132,6 +137,18 @@ class TradingTask(Task):
                 order = self.broker.submit(ctx.deadline, side,
                                            self.order_units, tick)
         self.decisions.append((ctx.job_index, decision, order))
+        bus = self.probes
+        if bus is not None and bus.active:
+            bus.publish("trading.decision", job=ctx.job_index,
+                        kind=decision.kind.name.lower(),
+                        confidence=decision.confidence)
+            if order is not None:
+                # the bus stamps publish time; `release` lets consumers
+                # derive the tick-to-order latency of this job
+                bus.publish("trading.order", job=ctx.job_index,
+                            side=side.name.lower(),
+                            units=self.order_units,
+                            release=ctx.release)
 
     def to_model(self):
         """Analytic model: WCET bounds with a small margin, full optional
@@ -233,6 +250,7 @@ class RealTimeTradingSystem:
         )
         self.middleware = RTSeed(topology=topology, load=load,
                                  cost_model=cost_model, seed=seed)
+        self.task.probes = self.middleware.probes
         self.middleware.add_task(
             self.task,
             n_jobs=n_seconds,

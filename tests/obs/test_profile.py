@@ -1,0 +1,84 @@
+"""Tests for the wall-clock profiling hook."""
+
+from repro.obs.profile import NullProfile, WallClockProfile
+
+
+class FakeClock:
+    """Deterministic perf_counter replacement."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_section_accumulates():
+    clock = FakeClock()
+    profile = WallClockProfile(clock=clock)
+    with profile.section("work"):
+        clock.now += 0.25
+    with profile.section("work"):
+        clock.now += 0.75
+    report = profile.report()
+    assert report["work"]["calls"] == 2
+    assert report["work"]["seconds"] == 1.0
+    assert report["work"]["mean_ms"] == 500.0
+    assert report["work"]["min_ms"] == 250.0
+    assert report["work"]["max_ms"] == 750.0
+
+
+def test_section_records_on_exception():
+    clock = FakeClock()
+    profile = WallClockProfile(clock=clock)
+    try:
+        with profile.section("boom"):
+            clock.now += 0.1
+            raise RuntimeError("expected")
+    except RuntimeError:
+        pass
+    assert profile.report()["boom"]["calls"] == 1
+
+
+def test_add_external_measurement():
+    profile = WallClockProfile()
+    profile.add("ext", 2.0)
+    assert profile.report()["ext"]["seconds"] == 2.0
+
+
+def test_wrap_times_every_call():
+    clock = FakeClock()
+    profile = WallClockProfile(clock=clock)
+
+    def work(x):
+        clock.now += 0.5
+        return x * 2
+
+    timed = profile.wrap("fn", work)
+    assert timed(21) == 42
+    assert timed(1) == 2
+    assert profile.report()["fn"]["calls"] == 2
+
+
+def test_format_sorted_slowest_first():
+    clock = FakeClock()
+    profile = WallClockProfile(clock=clock)
+    with profile.section("fast"):
+        clock.now += 0.1
+    with profile.section("slow"):
+        clock.now += 0.9
+    lines = profile.format().splitlines()
+    assert lines[1].startswith("slow")
+    assert lines[2].startswith("fast")
+    assert WallClockProfile().format() == "(no sections recorded)"
+
+
+def test_null_profile_is_a_drop_in():
+    profile = NullProfile()
+    with profile.section("anything"):
+        pass
+    profile.add("x", 1.0)
+    fn = profile.wrap("x", lambda: 7)
+    assert fn() == 7
+    assert profile.report() == {}
+    assert "disabled" in profile.format()

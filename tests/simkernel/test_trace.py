@@ -114,3 +114,76 @@ def test_max_records_drops_oldest():
     kernel.run_to_completion()
     assert len(tracer.records) == 5
     assert tracer.dropped > 0
+
+
+def test_drop_oldest_keeps_newest_and_counts_evictions():
+    """The bounded buffer keeps the most recent records; the dropped
+    counter accounts exactly for the evicted ones."""
+    tracer = Tracer(max_records=3)
+    for step in range(10):
+        tracer._record(float(step), "tick", "t", 1, 0)
+    assert [r.time for r in tracer.records] == [7.0, 8.0, 9.0]
+    assert tracer.dropped == 7
+    assert len(tracer) == 3
+
+
+def test_unbounded_tracer_never_drops():
+    tracer = Tracer()
+    for step in range(100):
+        tracer._record(float(step), "tick", "t", 1, 0)
+    assert len(tracer.records) == 100
+    assert tracer.dropped == 0
+
+
+def test_attach_uses_bus_not_on_event():
+    """attach() subscribes to the probe bus, leaving ``on_event`` free —
+    the clobbering bug the fan-out bus exists to fix."""
+    kernel = Kernel(Topology(1, 1, share_fn=uniform_share))
+    tracer = Tracer.attach(kernel)
+    assert kernel.on_event is None
+    assert kernel.probes.active
+
+    def body(thread):
+        yield Compute(1 * MSEC)
+
+    kernel.create_thread("t", body, cpu=0, priority=50)
+    kernel.run_to_completion()
+    assert tracer.counts()["dispatch"] >= 1
+    tracer.detach()
+    assert not kernel.probes.active
+
+
+def test_two_tracers_coexist_with_metrics():
+    """Multiple observers on one kernel — none clobbers another."""
+    from repro.obs.metrics import SchedulerMetrics
+
+    kernel = Kernel(Topology(1, 1, share_fn=uniform_share))
+    first = Tracer.attach(kernel)
+    second = Tracer.attach(kernel)
+    metrics = SchedulerMetrics.attach(kernel)
+
+    def body(thread):
+        yield Compute(1 * MSEC)
+
+    kernel.create_thread("t", body, cpu=0, priority=50)
+    kernel.run_to_completion()
+    assert len(first.records) == len(second.records) > 0
+    assert metrics.snapshot()["counters"]["kernel.dispatches"] == 1
+
+
+def test_bus_records_carry_event_extras():
+    """Bus-fed records keep event-specific payload in ``extra``."""
+    kernel = Kernel(Topology(2, 1, share_fn=uniform_share))
+    tracer = Tracer.attach(kernel)
+
+    def body(thread):
+        from repro.simkernel.syscalls import SchedSetAffinity
+        yield Compute(1 * MSEC)
+        yield SchedSetAffinity(1)
+        yield Compute(1 * MSEC)
+
+    kernel.create_thread("t", body, cpu=0, priority=50)
+    kernel.run_to_completion()
+    migrations = tracer.filter(event="migrate")
+    assert migrations
+    assert migrations[0].extra == {"from_cpu": 0, "to_cpu": 1}

@@ -70,6 +70,59 @@ def test_admit_command():
     assert "final per-CPU state" in output
 
 
+def test_trace_command(tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    trace_path = tmp_path / "trace.json"
+    jsonl_path = tmp_path / "trace.jsonl"
+    code, output = run_cli([
+        "trace", "--np", "4", "--jobs", "2",
+        "--out", str(trace_path), "--jsonl", str(jsonl_path),
+    ])
+    assert code == 0
+    assert "trace events" in output
+    assert "perfetto" in output
+    document = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(document) > 0
+    lines = jsonl_path.read_text().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
+
+
+def test_trace_command_trade_workload(tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    trace_path = tmp_path / "trade.json"
+    code, _output = run_cli([
+        "trace", "--workload", "trade", "--jobs", "3",
+        "--out", str(trace_path),
+    ])
+    assert code == 0
+    assert validate_chrome_trace(json.loads(trace_path.read_text())) > 0
+
+
+def test_metrics_command():
+    code, output = run_cli(["metrics", "--np", "4", "--jobs", "2"])
+    assert code == 0
+    assert "rtseed.response_time[tau1]" in output
+    assert "kernel.dispatches" in output
+
+
+def test_metrics_command_json():
+    import json
+
+    code, output = run_cli([
+        "metrics", "--np", "4", "--jobs", "2", "--json",
+    ])
+    assert code == 0
+    snapshot = json.loads(output)
+    assert snapshot["counters"]["rtseed.jobs[tau1]"] == 2
+    assert "p99" in snapshot["histograms"]["rtseed.response_time[tau1]"]
+
+
 def test_module_entry_point():
     import subprocess
     import sys
