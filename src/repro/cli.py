@@ -26,6 +26,10 @@ Commands
 ``metrics``
     Run a workload with the metrics collector attached and print the
     simulated-time metrics snapshot (counters + latency quantiles).
+
+``faults``
+    Run seeded fault-injection scenarios against the trading system and
+    emit a deterministic JSON resilience report.
 """
 
 import argparse
@@ -120,6 +124,23 @@ def _add_metrics_parser(subparsers):
     _add_workload_arguments(parser)
     parser.add_argument("--json", action="store_true",
                         help="print the raw snapshot as JSON")
+
+
+def _add_faults_parser(subparsers):
+    parser = subparsers.add_parser(
+        "faults", help="run a fault-injection resilience campaign"
+    )
+    parser.add_argument("--scenario", default="all",
+                        help="scenario name, comma-separated names, or "
+                             "'all' (see --list)")
+    parser.add_argument("--seconds", type=int, default=30,
+                        help="trading duration per scenario")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here instead of "
+                             "stdout")
+    parser.add_argument("--list", action="store_true",
+                        help="list the canned scenarios and exit")
 
 
 def _load_from_name(name):
@@ -353,6 +374,41 @@ def cmd_metrics(args, out):
     return 0
 
 
+def cmd_faults(args, out):
+    from repro.faults.campaign import (
+        SCENARIOS,
+        render_report,
+        run_campaign,
+    )
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name:18s} {SCENARIOS[name]['description']}",
+                  file=out)
+        return 0
+    if args.scenario == "all":
+        names = None
+    else:
+        names = [name.strip() for name in args.scenario.split(",")]
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)} "
+                  f"(try --list)", file=out)
+            return 2
+    report = run_campaign(scenarios=names, n_seconds=args.seconds,
+                          seed=args.seed)
+    rendered = render_report(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        scenario_count = len(report["scenarios"])
+        print(f"wrote {scenario_count} scenario report(s) to "
+              f"{args.out}", file=out)
+    else:
+        out.write(rendered)
+    return 0
+
+
 _COMMANDS = {
     "overheads": cmd_overheads,
     "sweep": cmd_sweep,
@@ -361,6 +417,7 @@ _COMMANDS = {
     "admit": cmd_admit,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "faults": cmd_faults,
 }
 
 
@@ -378,6 +435,7 @@ def build_parser():
     _add_admit_parser(subparsers)
     _add_trace_parser(subparsers)
     _add_metrics_parser(subparsers)
+    _add_faults_parser(subparsers)
     return parser
 
 

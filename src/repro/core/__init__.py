@@ -12,6 +12,9 @@ Public API:
   termination strategies (Section IV-D, Table I).
 * :mod:`repro.core.queues` — the HPQ/RTQ/NRTQ/SQ priority-band mapping
   (Figures 4 and 5).
+* :mod:`repro.core.resilience` — graceful-degradation machinery
+  (retry-within-budget, overrun watchdog, system-wide degraded mode)
+  hardening the protocol against injected faults (:mod:`repro.faults`).
 """
 
 from repro.core.middleware import RTSeed, RTSeedResult, TaskResult
@@ -30,6 +33,11 @@ from repro.core.practical import (
     PracticalWorkloadTask,
 )
 from repro.core.process import JobProbe, RealTimeProcess
+from repro.core.resilience import (
+    DegradedModeController,
+    OverrunWatchdog,
+    RetryPolicy,
+)
 from repro.core.queues import (
     HPQ_PRIORITY,
     NRTQ_RANGE,
@@ -64,6 +72,9 @@ __all__ = [
     "get_policy",
     "JobProbe",
     "RealTimeProcess",
+    "DegradedModeController",
+    "OverrunWatchdog",
+    "RetryPolicy",
     "PhaseProbe",
     "PracticalRealTimeProcess",
     "PracticalTask",

@@ -108,10 +108,19 @@ class RTSeed:
     :param seed: noise seed for the calibrated model.
     :param use_hpq: reserve priority 99 for tasks whose utilization
         exceeds the RM-US threshold (footnote 1).
+    :param watchdog: optional
+        :class:`~repro.core.resilience.OverrunWatchdog` shared by every
+        process; force-discards optional parts whose termination
+        strategy fails to stop them.
+    :param degrade: optional
+        :class:`~repro.core.resilience.DegradedModeController` shared by
+        every process — system-wide optional-part shedding under
+        sustained deadline misses.
     """
 
     def __init__(self, topology=None, load=BackgroundLoad.NONE,
-                 cost_model="xeonphi", seed=0, use_hpq=False):
+                 cost_model="xeonphi", seed=0, use_hpq=False,
+                 watchdog=None, degrade=None):
         self.topology = topology if topology is not None \
             else xeon_phi_topology()
         self.load = load
@@ -122,6 +131,10 @@ class RTSeed:
             cost_model = ZeroCostModel()
         self.kernel = Kernel(self.topology, cost_model=cost_model)
         self.use_hpq = use_hpq
+        self.watchdog = watchdog
+        self.degrade = degrade
+        if degrade is not None and degrade.probes is None:
+            degrade.probes = self.kernel.probes
         self._entries = []
         self._ran = False
 
@@ -240,7 +253,11 @@ class RTSeed:
                 n_jobs=entry["n_jobs"],
                 strategy=entry["strategy"],
                 start_time=entry["start_time"],
+                watchdog=self.watchdog,
+                degrade=self.degrade,
             ).spawn()
             results[entry["task"].name] = TaskResult(process)
         self.kernel.run_to_completion(max_events=max_events)
+        if self.degrade is not None:
+            self.degrade.close(self.kernel.now)
         return RTSeedResult(results, self.kernel)

@@ -36,6 +36,7 @@ protocol already paid a ``GetTime`` for.
 from repro.core.queues import nrtq_priority
 from repro.core.task import TaskContext
 from repro.core.termination import SigjmpTermination
+from repro.simkernel.errors import JobAbortError
 from repro.simkernel.sync import CondVar, Mutex
 from repro.simkernel.syscalls import (
     ClockNanosleep,
@@ -75,6 +76,10 @@ class JobProbe:
         self.windup_start = None
         self.windup_end = None
         self.results = {}
+        #: True when the job was aborted in a controlled way (the
+        #: mandatory part raised :class:`JobAbortError`); it counts as a
+        #: deadline miss but never ran its optional or wind-up parts.
+        self.aborted = False
 
     # -- the four overheads (Section V-B), in nanoseconds -------------------
 
@@ -151,10 +156,19 @@ class RealTimeProcess:
         sigsetjmp/siglongjmp).
     :param start_time: absolute first release (defaults to one period,
         leaving the init phase of Figure 6 room to finish).
+    :param watchdog: optional
+        :class:`~repro.core.resilience.OverrunWatchdog` armed per
+        optional part; force-discards parts whose termination strategy
+        fails to stop them.
+    :param degrade: optional
+        :class:`~repro.core.resilience.DegradedModeController`; while it
+        reports degraded mode, this process sheds its optional parts
+        (jobs run mandatory + wind-up only) and feeds its miss counters.
     """
 
     def __init__(self, kernel, task, priority, cpu, optional_cpus,
-                 optional_deadline, n_jobs, strategy=None, start_time=None):
+                 optional_deadline, n_jobs, strategy=None, start_time=None,
+                 watchdog=None, degrade=None):
         if len(optional_cpus) != task.n_parallel:
             raise ValueError(
                 f"{task.name}: {len(optional_cpus)} optional CPUs for "
@@ -178,6 +192,8 @@ class RealTimeProcess:
         self.start_time = (
             float(start_time) if start_time is not None else task.period
         )
+        self.watchdog = watchdog
+        self.degrade = degrade
 
         n_parallel = task.n_parallel
         self.probes = []
@@ -260,7 +276,21 @@ class RealTimeProcess:
 
             ctx = TaskContext(task, job_index, release,
                               probe.od_abs, probe.deadline_abs)
-            yield from task.exec_mandatory(ctx)
+            try:
+                yield from task.exec_mandatory(ctx)
+            except JobAbortError as error:
+                # controlled per-job failure (e.g. the retry-with-budget
+                # fetch ran out of slack): discard the job, keep the
+                # process alive for the next release.
+                probe.aborted = True
+                now = yield GetTime()
+                if bus.active:
+                    bus.publish("rtseed.job_abort", task=task.name,
+                                job=job_index, tid=thread.tid,
+                                reason=error.reason)
+                if self.degrade is not None:
+                    self.degrade.record_job(task.name, False, now)
+                continue
             probe.mandatory_end = yield GetTime()
             if bus.active:
                 bus.publish(
@@ -269,7 +299,16 @@ class RealTimeProcess:
                     duration=probe.mandatory_end - probe.mandatory_start,
                 )
 
-            if probe.mandatory_end < probe.od_abs:
+            shed = self.degrade is not None and self.degrade.should_shed()
+            if probe.mandatory_end < probe.od_abs and shed:
+                # degraded mode: time remained, but system-wide pressure
+                # sheds the optional parts — mandatory + wind-up only.
+                self.degrade.note_shed()
+                if bus.active:
+                    bus.publish("degrade.shed", task=task.name,
+                                job=job_index, tid=thread.tid,
+                                n_parts=task.n_parallel)
+            if probe.mandatory_end < probe.od_abs and not shed:
                 # wake each optional part individually (never broadcast)
                 token = (job_index, ctx, probe.od_abs)
                 for part_index in range(task.n_parallel):
@@ -277,6 +316,9 @@ class RealTimeProcess:
                     self._opt_pending[part_index] = token
                     yield CondSignal(self._opt_cond[part_index])
                     yield MutexUnlock(self._opt_mutex[part_index])
+                    if self.watchdog is not None:
+                        self.watchdog.arm(self.kernel, self, job_index,
+                                          part_index, probe.od_abs)
                 probe.signal_end = yield GetTime()
                 if bus.active:
                     bus.publish("rtseed.signals_done", task=task.name,
@@ -289,7 +331,7 @@ class RealTimeProcess:
                     yield CondWait(self._mand_cond, self._done_mutex)
                 self._done_count = 0
                 yield MutexUnlock(self._done_mutex)
-            else:
+            elif not shed:
                 # no time for optional parts — they are discarded (the
                 # wake-up signal is never sent) and the wind-up runs now.
                 if bus.active:
@@ -322,6 +364,9 @@ class RealTimeProcess:
                     delta_m=probe.delta_m, delta_b=probe.delta_b,
                     delta_s=probe.delta_s, delta_e=probe.delta_e,
                 )
+            if self.degrade is not None:
+                self.degrade.record_job(task.name, probe.deadline_met,
+                                        probe.windup_end)
 
         # shutdown: release the optional threads from their wait loops
         self._active = False

@@ -1,0 +1,133 @@
+"""Kernel/run-queue invariant checks.
+
+Fault injection deliberately perturbs the kernel model (dropped
+signals, skewed timers, spurious wakeups, repriced cores).  After every
+injected fault the scheduler state must still be *self-consistent* —
+the fault changes what happens, never the bookkeeping.  A violation
+here means the simulation model broke, so it raises
+:class:`~repro.simkernel.errors.InvariantViolationError` (a
+:class:`~repro.simkernel.errors.SimulationError`, not an injected
+fault): nothing catches it, the run dies loudly.
+"""
+
+from repro.simkernel.errors import InvariantViolationError
+from repro.simkernel.thread import SchedPolicy, ThreadState
+
+
+def _in_ready_queue(kernel, thread):
+    if thread.policy is SchedPolicy.FIFO:
+        return thread in kernel.runqueues[thread.cpu]
+    return thread in kernel.other_queues[thread.cpu]
+
+
+def _check_wait_queues(kernel, violations):
+    """Every queued waiter must be a live BLOCKED thread pointing back
+    at the object it queues on.
+
+    The converse (BLOCKED implies queued) is deliberately *not* checked:
+    a woken waiter is legitimately absent from the queue while its
+    wakeup latency elapses (the in-transit state between
+    ``_wake_cond_waiter`` and the delayed ``_make_ready``).
+    """
+    wait_objects = []
+    seen = set()
+    for thread in kernel.threads:
+        blocked_on = thread.blocked_on
+        if blocked_on is None or isinstance(blocked_on, tuple):
+            continue
+        if hasattr(blocked_on, "waiters") and id(blocked_on) not in seen:
+            seen.add(id(blocked_on))
+            wait_objects.append(blocked_on)
+    for obj in wait_objects:
+        name = getattr(obj, "name", repr(obj))
+        for entry in obj.waiters:
+            target = entry[0] if isinstance(entry, tuple) else entry
+            if not target.alive:
+                violations.append(
+                    f"{name}: dead thread {target.name} still queued"
+                )
+            elif target.state is not ThreadState.BLOCKED:
+                violations.append(
+                    f"{name}: queued waiter {target.name} is "
+                    f"{target.state.value}, not blocked"
+                )
+            elif target.blocked_on is not obj:
+                violations.append(
+                    f"{name}: queued waiter {target.name} claims to "
+                    f"block on {target.blocked_on!r}"
+                )
+
+
+def collect_violations(kernel):
+    """Every invariant that does not currently hold, as messages."""
+    violations = []
+
+    # current[] <-> thread-state consistency
+    for cpu, thread in enumerate(kernel.current):
+        if thread is None:
+            continue
+        if thread.state is not ThreadState.RUNNING:
+            violations.append(
+                f"cpu {cpu}: current thread {thread.name} is "
+                f"{thread.state.value}, not running"
+            )
+        if thread.cpu != cpu:
+            violations.append(
+                f"cpu {cpu}: current thread {thread.name} claims cpu "
+                f"{thread.cpu}"
+            )
+
+    for thread in kernel.threads:
+        state = thread.state
+        if state is ThreadState.NEW:
+            continue
+        enqueued = _in_ready_queue(kernel, thread)
+        if state is ThreadState.RUNNING:
+            if kernel.current[thread.cpu] is not thread:
+                violations.append(
+                    f"{thread.name}: RUNNING but not current on cpu "
+                    f"{thread.cpu}"
+                )
+            if enqueued:
+                violations.append(
+                    f"{thread.name}: RUNNING yet still in a ready queue"
+                )
+        elif state is ThreadState.READY:
+            if not enqueued:
+                violations.append(
+                    f"{thread.name}: READY but missing from cpu "
+                    f"{thread.cpu}'s ready queue"
+                )
+        elif state is ThreadState.BLOCKED:
+            if enqueued:
+                violations.append(
+                    f"{thread.name}: BLOCKED yet still in a ready queue"
+                )
+        elif state is ThreadState.TERMINATED:
+            if enqueued:
+                violations.append(
+                    f"{thread.name}: TERMINATED yet still in a ready "
+                    f"queue"
+                )
+
+    _check_wait_queues(kernel, violations)
+
+    next_time = kernel.engine.peek_time()
+    if next_time is not None and next_time < kernel.engine.now:
+        violations.append(
+            f"engine: next event at {next_time} behind clock "
+            f"{kernel.engine.now}"
+        )
+    return violations
+
+
+def check_kernel_invariants(kernel):
+    """Raise :class:`InvariantViolationError` unless every invariant
+    holds; returns None on success."""
+    violations = collect_violations(kernel)
+    if violations:
+        raise InvariantViolationError(
+            f"{len(violations)} kernel invariant(s) violated at "
+            f"t={kernel.engine.now:.0f}: " + "; ".join(violations),
+            violations=violations,
+        )

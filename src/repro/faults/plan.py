@@ -1,0 +1,180 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is data, not behaviour: a list of
+:class:`FaultSpec` entries (*which* fault, *where* in simulated time,
+*how likely*, with what parameters) plus one seed.  The
+:class:`~repro.faults.injectors.FaultInjector` turns a plan into hooks
+on a concrete kernel/cost-model/trading stack; the plan itself is
+JSON-round-trippable so campaigns can embed the exact plan in their
+reports and tests can assert plans reproduce.
+
+Sites
+-----
+
+===================  =====================================================
+site                 effect (parameters)
+===================  =====================================================
+``signal_drop``      a posted signal is silently lost
+``signal_delay``     a posted signal is delivered late (``delay`` ns)
+``timer_drift``      an armed timer fires late (``skew`` ns)
+``spurious_wakeup``  a ``pthread_cond_wait`` waiter wakes with no signal
+                     (after ``delay`` ns)
+``cpu_stall``        per-CPU micro-cost multiplier (``factor`` >= 1,
+                     ``cpus`` list or all)
+``core_throttle``    a core's throughput is scaled (``factor`` in (0, 1],
+                     ``cores`` list or [0]) for the window
+``net_timeout``      a market-data fetch attempt times out after burning
+                     ``timeout`` ns of budget
+``feed_gap``         a feed tick never arrives (previous tick is reused)
+``feed_stale``       a feed tick carries the previous price (frozen quote)
+``broker_reject``    the broker rejects an order
+``broker_disconnect``  the broker link drops mid-submit
+                     (:class:`~repro.trading.broker.\
+BrokerDisconnectedError`)
+===================  =====================================================
+
+Probabilistic sites draw from streams derived from ``(plan seed, spec
+index)``, so a plan is fully deterministic: same plan + same seed ==
+same injected faults, event for event.
+"""
+
+#: Every valid fault site, with the layer it hooks.
+FAULT_SITES = {
+    "signal_drop": "simkernel (post_signal)",
+    "signal_delay": "simkernel (post_signal)",
+    "timer_drift": "simkernel (timer_settime)",
+    "spurious_wakeup": "simkernel (cond_wait)",
+    "cpu_stall": "hardware (cost model)",
+    "core_throttle": "hardware (core throughput)",
+    "net_timeout": "trading (network fetch)",
+    "feed_gap": "trading (market feed)",
+    "feed_stale": "trading (market feed)",
+    "broker_reject": "trading (broker)",
+    "broker_disconnect": "trading (broker)",
+}
+
+
+class FaultSpec:
+    """One fault site armed over a window of simulated time.
+
+    :param site: a key of :data:`FAULT_SITES`.
+    :param start: window start, absolute simulated ns (inclusive).
+    :param end: window end, ns (exclusive); ``None`` = until the end.
+    :param probability: chance each opportunity inside the window
+        actually injects (1.0 = always).
+    :param params: site-specific parameters (see the module table).
+    """
+
+    def __init__(self, site, start=0.0, end=None, probability=1.0,
+                 **params):
+        if site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; valid: "
+                f"{sorted(FAULT_SITES)}"
+            )
+        if start < 0:
+            raise ValueError("window start must be >= 0")
+        if end is not None and end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        for key, value in params.items():
+            if not isinstance(value, (int, float, str, bool, list)):
+                raise TypeError(
+                    f"param {key}={value!r} is not JSON-serializable"
+                )
+        self.site = site
+        self.start = float(start)
+        self.end = None if end is None else float(end)
+        self.probability = float(probability)
+        self.params = dict(params)
+
+    def active_at(self, time):
+        """True iff ``time`` falls inside this spec's window."""
+        if time < self.start:
+            return False
+        return self.end is None or time < self.end
+
+    def to_dict(self):
+        data = {"site": self.site, "start": self.start, "end": self.end,
+                "probability": self.probability}
+        data.update(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        site = data.pop("site")
+        start = data.pop("start", 0.0)
+        end = data.pop("end", None)
+        probability = data.pop("probability", 1.0)
+        return cls(site, start=start, end=end, probability=probability,
+                   **data)
+
+    def __repr__(self):
+        window = f"[{self.start:.0f}, " + (
+            "inf)" if self.end is None else f"{self.end:.0f})"
+        )
+        return (
+            f"<FaultSpec {self.site} {window} p={self.probability}"
+            f"{' ' + repr(self.params) if self.params else ''}>"
+        )
+
+
+class FaultPlan:
+    """An ordered list of :class:`FaultSpec` plus the campaign seed.
+
+    Spec order matters: each spec's random stream is derived from
+    ``(seed, its index)``, so reordering a plan is a different plan.
+
+    :param specs: iterable of :class:`FaultSpec` (or dicts).
+    :param seed: base seed for every probabilistic decision.
+    :param name: label carried into reports and traces.
+    """
+
+    def __init__(self, specs=(), seed=0, name="plan"):
+        self.specs = [
+            spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+            for spec in specs
+        ]
+        self.seed = int(seed)
+        self.name = str(name)
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def for_site(self, site):
+        """``(index, spec)`` pairs of every spec at ``site``, in order."""
+        return [(index, spec) for index, spec in enumerate(self.specs)
+                if spec.site == site]
+
+    @property
+    def sites(self):
+        """The distinct sites this plan arms."""
+        return sorted({spec.site for spec in self.specs})
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(specs=data.get("specs", ()), seed=data.get("seed", 0),
+                   name=data.get("name", "plan"))
+
+    def __repr__(self):
+        return (
+            f"<FaultPlan {self.name!r} seed={self.seed} "
+            f"specs={len(self.specs)}>"
+        )
+
+
+def no_faults(name="baseline"):
+    """The empty plan: attaching it must leave every result unchanged."""
+    return FaultPlan([], seed=0, name=name)

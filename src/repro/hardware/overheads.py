@@ -153,6 +153,12 @@ class XeonPhiCostModel(CostModel):
         self.costs = table[load] if isinstance(table, dict) else table
         self.noise_sigma = noise_sigma
         self._rng = np.random.default_rng(seed)
+        #: optional per-CPU stall provider (duck-typed: ``multiplier(cpu)``
+        #: -> float >= 1), installed by the fault-injection subsystem to
+        #: model transient pipeline stalls / thermal throttling.  Applied
+        #: *after* the noise draw so installing it never perturbs the RNG
+        #: stream — a no-fault run stays bit-identical.
+        self.stall = None
 
     def _noisy(self, value):
         if value <= 0:
@@ -160,6 +166,16 @@ class XeonPhiCostModel(CostModel):
         if self.noise_sigma <= 0:
             return value
         return value * self._rng.lognormal(0.0, self.noise_sigma)
+
+    def _stalled(self, value, owner):
+        """Apply any active stall window; ``owner`` is a CPU id, a
+        thread (its ``.cpu`` is used), or ``None`` (no CPU context —
+        stall windows scoped to specific CPUs do not apply)."""
+        if self.stall is None or value <= 0:
+            return value
+        cpu = owner if owner is None or isinstance(owner, int) \
+            else owner.cpu
+        return value * self.stall.multiplier(cpu)
 
     def _background_pressure(self, cpu, kernel):
         """Weighted count of background-busy sibling hardware threads.
@@ -190,25 +206,31 @@ class XeonPhiCostModel(CostModel):
     # -- CostModel hooks ----------------------------------------------------
 
     def wakeup_latency(self, thread, kernel, kind="sync"):
-        if kind == "sleep":
-            return self._noisy(self.costs.sleep_wakeup)
-        return self._noisy(self.costs.sync_wakeup)
+        base = self.costs.sleep_wakeup if kind == "sleep" \
+            else self.costs.sync_wakeup
+        return self._stalled(self._noisy(base), thread)
 
     def context_switch(self, cpu, prev_thread, next_thread, kernel):
         if prev_thread is next_thread:
             # resuming the same thread on this CPU: registers still live
-            return self._noisy(0.25 * self.costs.context_switch)
+            return self._stalled(
+                self._noisy(0.25 * self.costs.context_switch), cpu
+            )
         pressure = kernel.nr_running * self.costs.dispatch_pressure
-        return self._noisy(self.costs.context_switch + pressure)
+        return self._stalled(
+            self._noisy(self.costs.context_switch + pressure), cpu
+        )
 
     def cond_signal(self, signaler, woken_thread, kernel):
-        return self._noisy(self.costs.cond_signal)
+        return self._stalled(self._noisy(self.costs.cond_signal),
+                             signaler)
 
     def timer_handler(self, thread, kernel):
-        return self._noisy(self.costs.timer_handler)
+        return self._stalled(self._noisy(self.costs.timer_handler),
+                             thread)
 
     def unwind(self, thread, kernel):
-        return self._noisy(self.costs.unwind)
+        return self._stalled(self._noisy(self.costs.unwind), thread)
 
     def mutex_handoff(self, mutex, prev_cpu, next_cpu, contended, kernel):
         # Uncontended fast-path acquisitions are effectively free (an
@@ -220,7 +242,10 @@ class XeonPhiCostModel(CostModel):
             self._background_pressure(next_cpu, kernel)
             * self.costs.lock_bg_sibling_penalty
         )
-        return self._noisy(self.costs.lock_handoff + penalty)
+        return self._stalled(
+            self._noisy(self.costs.lock_handoff + penalty), next_cpu
+        )
 
     def syscall(self, request, thread, kernel):
-        return self._noisy(self.costs.syscall_entry)
+        return self._stalled(self._noisy(self.costs.syscall_entry),
+                             thread)

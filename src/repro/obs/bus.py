@@ -104,6 +104,10 @@ PROBE_SITES = {
         "core/process.py",
         "job complete; fields: response, tardiness, met, qos, "
         "delta_m/b/s/e (ns or None)"),
+    "rtseed.job_abort": (
+        "core/process.py",
+        "mandatory part gave up within budget; fields: task, job, "
+        "reason"),
     "termination.completed": (
         "core/termination.py",
         "optional body finished before OD; fields: strategy, duration"),
@@ -119,6 +123,66 @@ PROBE_SITES = {
         "trading/system.py",
         "order submitted; fields: job, side, units, release "
         "(tick-to-order latency = timestamp - release)"),
+    "trading.fetch_retry": (
+        "trading/system.py",
+        "fetch timed out, retrying within budget; fields: job, "
+        "attempt, backoff"),
+    "trading.broker_error": (
+        "trading/system.py",
+        "order lost to a broker fault; fields: job, side, reason"),
+    # -- repro.core.resilience / process (degradation machinery) -------
+    "degrade.enter": (
+        "core/resilience.py",
+        "degraded mode entered; fields: task, consecutive_misses"),
+    "degrade.exit": (
+        "core/resilience.py",
+        "degraded mode cleared; fields: recovery_latency (ns)"),
+    "degrade.shed": (
+        "core/process.py",
+        "optional parts shed while degraded; fields: task, job, "
+        "n_parts"),
+    "degrade.watchdog_fire": (
+        "core/resilience.py",
+        "overrun watchdog force-discarded a part; fields: task, job, "
+        "part, overrun (ns)"),
+    # -- repro.faults.injectors (every injected fault) -----------------
+    "fault.signal_drop": (
+        "faults/injectors.py",
+        "posted signal silently lost; fields: thread, tid, signum"),
+    "fault.signal_delay": (
+        "faults/injectors.py",
+        "posted signal deferred; fields: thread, tid, signum, delay"),
+    "fault.timer_drift": (
+        "faults/injectors.py",
+        "timer expiry skewed late; fields: timer, skew, at"),
+    "fault.spurious_wakeup": (
+        "faults/injectors.py",
+        "condvar waiter woken with no signal; fields: thread, tid, "
+        "cond"),
+    "fault.cpu_stall": (
+        "faults/injectors.py",
+        "micro-cost stall window began; fields: cpus, factor, until"),
+    "fault.core_throttle": (
+        "faults/injectors.py",
+        "core throughput scaled down; fields: core, factor, until"),
+    "fault.core_restore": (
+        "faults/injectors.py",
+        "throttled core restored; fields: core"),
+    "fault.net_timeout": (
+        "faults/injectors.py",
+        "fetch attempt timed out; fields: job, attempt, timeout"),
+    "fault.feed_gap": (
+        "faults/injectors.py",
+        "feed tick never arrived; fields: index"),
+    "fault.feed_stale": (
+        "faults/injectors.py",
+        "feed tick carried a frozen quote; fields: index"),
+    "fault.broker_reject": (
+        "faults/injectors.py",
+        "order rejected by fault; fields: side, units"),
+    "fault.broker_disconnect": (
+        "faults/injectors.py",
+        "broker link dropped mid-submit; fields: side, units"),
 }
 
 

@@ -34,6 +34,10 @@ from repro.simkernel.cpu import Core, HardwareThread, Topology
 from repro.simkernel.engine import Engine, Event
 from repro.simkernel.errors import (
     DeadlockError,
+    InjectedFaultError,
+    InvariantViolationError,
+    JobAbortError,
+    SimKernelError,
     SimulationError,
     SignalUnwind,
 )
@@ -89,6 +93,10 @@ __all__ = [
     "Engine",
     "Event",
     "DeadlockError",
+    "InjectedFaultError",
+    "InvariantViolationError",
+    "JobAbortError",
+    "SimKernelError",
     "SimulationError",
     "SignalUnwind",
     "Kernel",

@@ -18,6 +18,11 @@ class CostModel:
     Subclasses override what they care about; the base charges zero.
     """
 
+    #: optional stall provider (``.multiplier(cpu) -> float``) installed
+    #: by the fault injector; models that price real micro-costs apply
+    #: it to their charges.  ``None`` = no stall windows armed.
+    stall = None
+
     def context_switch(self, cpu, prev_thread, next_thread, kernel):
         """Charged to the incoming thread on every dispatch."""
         return 0.0

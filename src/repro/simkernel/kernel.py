@@ -127,6 +127,11 @@ class Kernel:
         self._signal_posted = {}
         #: optional observer: callable(event_name, thread, time) for traces.
         self.on_event = None
+        #: optional fault-injection hooks (duck-typed — see
+        #: :class:`repro.faults.injectors.FaultInjector`).  ``None`` (the
+        #: default) keeps every hook site to a single attribute test, the
+        #: same zero-overhead pattern as the probe bus.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # public API
@@ -190,7 +195,19 @@ class Kernel:
             )
 
     def post_signal(self, thread, signum):
-        """Post a signal to ``thread`` (kernel-side entry point)."""
+        """Post a signal to ``thread`` (kernel-side entry point).
+
+        The installed fault hooks may *drop* the post entirely or
+        *delay* it (the hooks re-post through :meth:`post_signal_direct`
+        so a delayed signal is not intercepted twice).
+        """
+        if self.faults is not None and \
+                not self.faults.allow_signal_post(thread, signum):
+            return
+        self.post_signal_direct(thread, signum)
+
+    def post_signal_direct(self, thread, signum):
+        """Post a signal bypassing the fault hooks (delayed re-posts)."""
         if not thread.alive:
             return
         disposition = thread.signal_handlers.get(signum, SIG_DFL)
@@ -222,6 +239,75 @@ class Kernel:
             thread.gen.close()
         thread.state = ThreadState.TERMINATED
         self._emit("thread_exit", thread)
+
+    def spurious_wakeup(self, cond, thread):
+        """Wake ``thread`` from ``cond`` without any signal/broadcast.
+
+        POSIX explicitly permits spurious wakeups from
+        ``pthread_cond_wait``; correct code re-checks its predicate in a
+        loop (Mesa semantics).  The fault injector uses this entry point
+        to prove the middleware's wait loops actually do.  Returns True
+        iff the thread was woken (False when it is no longer waiting on
+        ``cond`` — the race resolved itself first).
+        """
+        if not thread.alive or thread.blocked_on is not cond:
+            return False
+        mutex = None
+        for entry in list(cond.waiters):
+            if entry[0] is thread:
+                mutex = entry[1]
+                cond.waiters.remove(entry)
+                break
+        if mutex is None:
+            return False
+        # exactly the re-acquire path a signalled waiter takes
+        if mutex.owner is None:
+            self._mutex_acquire(thread, mutex, contended=False)
+            self._wake_after_latency(thread)
+        else:
+            mutex.waiters.append(thread)
+            thread.blocked_on = mutex
+        return True
+
+    def force_unwind(self, thread, signum=None):
+        """Terminate a thread's current (optional) part *regardless of
+        its signal mask* — the overrun watchdog's last resort.
+
+        Models a supervisor forcibly cancelling an optional part whose
+        termination strategy failed (Table I's C++ ``try``/``catch`` row
+        leaves ``SIGALRM`` masked, so the regular timer path can never
+        stop the next overrun).  Delivery always restores the mask: the
+        watchdog repairs the wedged state so subsequent jobs' timers
+        fire again.  Returns True iff an unwind was delivered.
+        """
+        if not thread.alive:
+            return False
+        from repro.simkernel.signals import SIGALRM
+        if signum is None:
+            signum = SIGALRM
+        # drop any queued instance so the unwind is not doubled later
+        while signum in thread.pending_signals:
+            thread.pending_signals.remove(signum)
+        thread.signal_mask.discard(signum)
+        self._deliver_signal(
+            thread, signum, UnwindDisposition(restore_mask=True),
+            forced=True,
+        )
+        return True
+
+    def set_core_speed(self, core_id, speed):
+        """Change a core's throughput and reprice in-flight compute.
+
+        The fault injector uses this for transient per-core throttle
+        windows (thermal stall, frequency capping): every computing
+        thread on the core has its completion event recomputed at the
+        new rate, deterministically.
+        """
+        if speed <= 0:
+            raise SchedulingError(f"core speed must be positive: {speed}")
+        core = self.topology.cores[core_id]
+        core.speed = speed
+        self._recompute_core(core)
 
     # ------------------------------------------------------------------
     # readiness and dispatch
@@ -592,6 +678,9 @@ class Kernel:
         self._mutex_release(thread, mutex)
         request.cond.waiters.append((thread, mutex))
         self._block(thread, request.cond)
+        if self.faults is not None:
+            # the hooks may schedule a spurious wakeup for this waiter
+            self.faults.on_cond_block(request.cond, thread)
         return False
 
     def _wake_cond_waiter(self, cond):
@@ -711,6 +800,11 @@ class Kernel:
             timer.expires_at = None
         if request.at is not None:
             expires = max(request.at, self.engine.now)
+            if self.faults is not None:
+                # timer drift / late fire: the fault hooks may skew the
+                # programmed expiry (never into the past)
+                expires = max(self.faults.adjust_timer_expiry(timer, expires),
+                              self.engine.now)
             timer.expires_at = expires
             timer.arm_count += 1
             timer.event = self.engine.schedule_at(
@@ -821,7 +915,7 @@ class Kernel:
             return
         self._deliver_signal(thread, signum, disposition)
 
-    def _deliver_signal(self, thread, signum, disposition):
+    def _deliver_signal(self, thread, signum, disposition, forced=False):
         #: delivery latency (post -> deliver) for the probe bus; popped
         #: for every disposition so the bookkeeping dict cannot grow.
         posted_at = self._signal_posted.pop((thread.tid, signum), None)
@@ -840,7 +934,7 @@ class Kernel:
             raise SyscallError(f"unknown disposition {disposition!r}")
 
         self._emit("signal_deliver", thread, signum=signum,
-                   latency=signal_latency)
+                   latency=signal_latency, forced=forced)
         if disposition.on_deliver is not None:
             disposition.on_deliver(thread, self.engine.now)
 
@@ -855,7 +949,8 @@ class Kernel:
         if disposition.restore_mask:
             thread.signal_mask.discard(signum)
 
-        exception = SignalUnwind(signum, disposition.restore_mask)
+        exception = SignalUnwind(signum, disposition.restore_mask,
+                                 forced=forced)
 
         if thread.state is ThreadState.RUNNING and thread.is_computing:
             # Interrupt the compute: remaining optional work is abandoned

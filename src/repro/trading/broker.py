@@ -7,6 +7,18 @@ net position per instrument, and realizes P&L on position reductions.
 
 import enum
 
+from repro.simkernel.errors import InjectedFaultError
+
+
+class BrokerDisconnectedError(InjectedFaultError):
+    """The broker link dropped mid-submit (injected fault).
+
+    Raised by the fault-injection broker proxy
+    (:class:`repro.faults.injectors.BrokerFaultProxy`); the trading
+    task's wind-up part catches it and records the failed order instead
+    of crashing the process.
+    """
+
 
 class OrderSide(enum.Enum):
     BUY = "buy"

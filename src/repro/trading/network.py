@@ -22,10 +22,13 @@ class NetworkModel:
     :param spike_probability: chance a request hits a spike.
     :param spike_factor: multiplier applied during a spike.
     :param seed: randomness seed.
+    :param max_cache: latency memo bound (LRU); long campaigns would
+        otherwise grow the cache without limit.
     """
 
     def __init__(self, mean=40 * MSEC, sigma=0.25,
-                 spike_probability=0.02, spike_factor=8.0, seed=0):
+                 spike_probability=0.02, spike_factor=8.0, seed=0,
+                 max_cache=4096):
         if mean <= 0:
             raise ValueError("mean latency must be positive")
         if sigma < 0:
@@ -34,27 +37,62 @@ class NetworkModel:
             raise ValueError("spike probability must be in [0, 1)")
         if spike_factor < 1:
             raise ValueError("spike factor must be >= 1")
+        if max_cache < 1:
+            raise ValueError("max_cache must be >= 1")
         self.mean = float(mean)
         self.sigma = sigma
         self.spike_probability = spike_probability
         self.spike_factor = spike_factor
         self.seed = seed
+        self.max_cache = int(max_cache)
+        # LRU memo: insertion order is recency order (hits reinsert).
+        # Keys are bare job indices for attempt 0 — the historical
+        # format, which tests/tools may pre-seed — and (job, attempt)
+        # tuples for retries.
         self._cache = {}
 
-    def fetch_latency(self, job_index):
+    def _sample(self, cache_key, rng_key):
+        """Draw the latency for one RNG key, through the LRU memo."""
+        if cache_key in self._cache:
+            latency = self._cache.pop(cache_key)  # refresh recency
+            self._cache[cache_key] = latency
+            return latency
+        rng = np.random.default_rng(rng_key)
+        latency = self.mean * float(
+            np.exp(self.sigma * rng.standard_normal())
+        )
+        if rng.random() < self.spike_probability:
+            latency *= self.spike_factor
+        self._cache[cache_key] = latency
+        if len(self._cache) > self.max_cache:
+            del self._cache[next(iter(self._cache))]
+        return latency
+
+    def fetch_latency(self, job_index, attempt=0):
         """Latency (ns) of job ``job_index``'s fetch — deterministic per
-        (seed, job)."""
+        (seed, job, attempt).
+
+        Attempt 0 keeps the historical ``(seed, job)`` RNG key so runs
+        without retries reproduce the original latencies bit for bit;
+        retries (attempt > 0) draw from an independent stream.
+        """
         if job_index < 0:
             raise IndexError("negative job index")
-        if job_index not in self._cache:
-            rng = np.random.default_rng((self.seed, job_index))
-            latency = self.mean * float(
-                np.exp(self.sigma * rng.standard_normal())
-            )
-            if rng.random() < self.spike_probability:
-                latency *= self.spike_factor
-            self._cache[job_index] = latency
-        return self._cache[job_index]
+        if attempt < 0:
+            raise IndexError("negative attempt index")
+        if attempt == 0:
+            return self._sample(job_index, (self.seed, job_index))
+        return self._sample((job_index, attempt),
+                            (self.seed, job_index, attempt))
+
+    def fetch_outcome(self, job_index, attempt=0):
+        """``(latency, timed_out)`` for one fetch attempt.
+
+        The base model never times out; the fault-injection layer wraps
+        this method (:class:`repro.faults.injectors.NetworkFaultProxy`)
+        to manufacture timeouts with the same signature.
+        """
+        return self.fetch_latency(job_index, attempt), False
 
     def worst_case(self, quantile_sigma=3.0):
         """A WCET bound for admission: spike factor on a high quantile."""

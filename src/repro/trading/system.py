@@ -18,8 +18,10 @@ from repro.core.middleware import RTSeed
 from repro.core.task import Task
 from repro.hardware.loads import BackgroundLoad
 from repro.model.task_model import ParallelExtendedImpreciseTask
+from repro.simkernel.errors import JobAbortError
+from repro.simkernel.syscalls import ClockNanosleep
 from repro.simkernel.time_units import MSEC, SEC
-from repro.trading.broker import OrderSide, SimBroker
+from repro.trading.broker import BrokerDisconnectedError, OrderSide, SimBroker
 from repro.trading.feed import MarketFeed
 from repro.trading.fundamental import FundamentalAnalyzer, synthetic_macro
 from repro.trading.indicators import (
@@ -53,12 +55,18 @@ class TradingTask(Task):
     :param fetch_cost: mandatory-part compute (network fetch + parse).
     :param decide_cost: wind-up-part compute (aggregate + order I/O).
     :param order_units: order size for bid/ask decisions.
+    :param retry_policy: optional
+        :class:`~repro.core.resilience.RetryPolicy`; with it (and a
+        ``network``), fetch timeouts are retried with backoff inside the
+        slack before the optional deadline, and the job is aborted in a
+        controlled way when no further attempt fits.
     """
 
     def __init__(self, name, feed, analyzers, broker,
                  strategy=None, period=1 * SEC, history_length=120,
                  fetch_cost=60 * MSEC, decide_cost=50 * MSEC,
-                 order_units=1_000.0, risk_manager=None, network=None):
+                 order_units=1_000.0, risk_manager=None, network=None,
+                 retry_policy=None):
         if not analyzers:
             raise ValueError("need at least one analyzer")
         super().__init__(name, period, n_parallel=len(analyzers))
@@ -75,21 +83,65 @@ class TradingTask(Task):
         #: set, the mandatory part's cost is the sampled fetch latency
         #: instead of the flat ``fetch_cost``.
         self.network = network
+        self.retry_policy = retry_policy
         #: (job_index, Decision, Order-or-None) per job, in order.
         self.decisions = []
         #: orders the risk manager vetoed: (job_index, RiskDecision).
         self.risk_vetoes = []
+        #: orders lost to broker faults: (job_index, reason) per failure.
+        self.broker_failures = []
         #: optional :class:`~repro.obs.bus.ProbeBus` (duck-typed);
         #: :class:`RealTimeTradingSystem` wires it to the middleware's
         #: bus so decisions and orders appear on the trace with their
         #: tick-to-order latency.
         self.probes = None
 
+    def _fetch_with_retry(self, ctx):
+        """One fetch, retried with backoff inside the deadline budget.
+
+        Each timed-out attempt has already cost its latency; before
+        retrying, the policy checks that backoff + a worst-case attempt
+        still fits before the optional deadline — otherwise the job is
+        aborted (:class:`JobAbortError`) instead of blowing through it.
+        """
+        policy = self.retry_policy
+        worst = self.network.worst_case()
+        bus = self.probes
+        attempt = 0
+        while True:
+            latency, timed_out = self.network.fetch_outcome(
+                ctx.job_index, attempt
+            )
+            yield ctx.compute(latency, tag="fetch")
+            if not timed_out:
+                return
+            attempt += 1
+            now = yield ctx.now()
+            reason = policy.abort_reason(attempt, now,
+                                         ctx.optional_deadline, worst)
+            if reason is not None:
+                raise JobAbortError(
+                    f"fetch (job {ctx.job_index}): {reason}"
+                )
+            backoff = policy.next_backoff(attempt)
+            if bus is not None and bus.active:
+                bus.publish("trading.fetch_retry", job=ctx.job_index,
+                            attempt=attempt, backoff=backoff)
+            yield ClockNanosleep(now + backoff)
+
     def exec_mandatory(self, ctx):
-        cost = self.fetch_cost
-        if self.network is not None:
-            cost = self.network.fetch_latency(ctx.job_index)
-        yield ctx.compute(cost, tag="fetch")
+        if self.network is not None and self.retry_policy is not None:
+            yield from self._fetch_with_retry(ctx)
+        else:
+            cost = self.fetch_cost
+            if self.network is not None:
+                # fetch_outcome keeps the fault proxy in the loop even
+                # without a retry policy; a timeout then simply costs
+                # its budget and the (cached) data is used as fetched.
+                cost, _timed_out = self.network.fetch_outcome(
+                    ctx.job_index
+                )
+            yield ctx.compute(cost, tag="fetch")
         tick_index = self.feed.index_at(ctx.release)
         ctx.scratch["tick_index"] = tick_index
         ctx.scratch["tick"] = self.feed.tick(tick_index)
@@ -134,8 +186,21 @@ class TradingTask(Task):
                     self.risk_vetoes.append((ctx.job_index, verdict))
                     side = None
             if side is not None:
-                order = self.broker.submit(ctx.deadline, side,
-                                           self.order_units, tick)
+                try:
+                    order = self.broker.submit(ctx.deadline, side,
+                                               self.order_units, tick)
+                except BrokerDisconnectedError as error:
+                    # injected broker outage: the order is lost, the
+                    # system records the failure and trades on.
+                    self.broker_failures.append((ctx.job_index,
+                                                 str(error)))
+                    bus = self.probes
+                    if bus is not None and bus.active:
+                        bus.publish("trading.broker_error",
+                                    job=ctx.job_index,
+                                    side=side.name.lower(),
+                                    reason=str(error))
+                    order = None
         self.decisions.append((ctx.job_index, decision, order))
         bus = self.probes
         if bus is not None and bus.active:
@@ -231,12 +296,24 @@ class RealTimeTradingSystem:
     :param load: background load (for overhead studies).
     :param optional_deadline: relative OD; default ``D - w`` with the
         modeled wind-up bound.
+    :param network: optional
+        :class:`~repro.trading.network.NetworkModel` for the mandatory
+        fetch (sampled latency instead of the flat cost).
+    :param retry_policy: optional
+        :class:`~repro.core.resilience.RetryPolicy` for fetch timeouts
+        (needs ``network``).
+    :param watchdog: optional
+        :class:`~repro.core.resilience.OverrunWatchdog`.
+    :param degrade: optional
+        :class:`~repro.core.resilience.DegradedModeController`.
     """
 
     def __init__(self, n_seconds=60, seed=0, analyzers=None,
                  policy="one_by_one", load=BackgroundLoad.NONE,
                  topology=None, cost_model="xeonphi", strategy=None,
-                 optional_deadline=None, history_length=120):
+                 optional_deadline=None, history_length=120,
+                 network=None, retry_policy=None, watchdog=None,
+                 degrade=None):
         self.feed = MarketFeed(seed=seed)
         self.broker = SimBroker()
         self.analyzers = analyzers or default_analyzers(seed)
@@ -247,9 +324,12 @@ class RealTimeTradingSystem:
             self.broker,
             strategy=strategy,
             history_length=history_length,
+            network=network,
+            retry_policy=retry_policy,
         )
         self.middleware = RTSeed(topology=topology, load=load,
-                                 cost_model=cost_model, seed=seed)
+                                 cost_model=cost_model, seed=seed,
+                                 watchdog=watchdog, degrade=degrade)
         self.task.probes = self.middleware.probes
         self.middleware.add_task(
             self.task,

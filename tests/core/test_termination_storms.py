@@ -1,0 +1,130 @@
+"""Termination strategies under signal storms (Table I, adversarial).
+
+The plain termination tests exercise one well-behaved SIGALRM per job.
+Here the signal arrives at the worst times: back-to-back with a second
+one, and exactly at the optional-deadline boundary where the part's
+completion and the timer expiry race.
+"""
+
+import pytest
+
+from repro.core.termination import (
+    PeriodicCheckTermination,
+    SigjmpTermination,
+    TryCatchTermination,
+)
+from repro.simkernel import Kernel, KTimer, Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.errors import SyscallError
+from repro.simkernel.signals import SIGALRM
+from repro.simkernel.syscalls import Compute, GetTime
+from repro.simkernel.time_units import MSEC
+
+
+def run_storm(strategy, posts, n_jobs=2, work=100 * MSEC,
+              od_rel=20 * MSEC, chunk=None):
+    """Run jobs under ``strategy`` with extra SIGALRMs posted at the
+    absolute times in ``posts`` (on top of each job's own OD timer)."""
+    kernel = Kernel(Topology(1, 1, share_fn=uniform_share))
+    outcomes = []
+
+    def body():
+        remaining = work
+        while remaining > 0:
+            step = min(chunk or work, remaining)
+            yield Compute(step)
+            remaining -= step
+
+    def thread_body(thread):
+        for time in posts:
+            kernel.engine.schedule_at(
+                time,
+                lambda target=thread: kernel.post_signal(target, SIGALRM),
+            )
+        timer = KTimer(thread)
+        yield from strategy.setup(timer)
+        for _job in range(n_jobs):
+            start = yield GetTime()
+            outcome = yield from strategy.run(
+                body(), timer, start + od_rel
+            )
+            outcomes.append(outcome)
+
+    kernel.create_thread("optional", thread_body, cpu=0, priority=10)
+    kernel.run_to_completion()
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# back-to-back SIGALRMs
+# ---------------------------------------------------------------------------
+
+
+def test_sigjmp_absorbs_back_to_back_signals():
+    """siglongjmp restores the mask, so the second signal simply
+    terminates the *next* job immediately — no lost state."""
+    outcomes = run_storm(
+        SigjmpTermination(), posts=[5 * MSEC, 5 * MSEC + 10_000]
+    )
+    assert [o.completed for o in outcomes] == [False, False]
+    assert outcomes[0].ended_at == pytest.approx(5 * MSEC)
+    # job 2 started and died on the queued second signal right away
+    assert outcomes[1].ended_at == pytest.approx(5 * MSEC + 10_000)
+
+
+def test_try_catch_wedges_under_back_to_back_signals():
+    """The first signal unwinds job 1 but leaves SIGALRM masked; the
+    second signal (and job 2's own timer) stay pending forever, so job 2
+    burns its full 100ms of work (Table I's empty mask cell)."""
+    outcomes = run_storm(
+        TryCatchTermination(), posts=[5 * MSEC, 5 * MSEC + 10_000]
+    )
+    assert not outcomes[0].completed
+    assert outcomes[0].ended_at == pytest.approx(5 * MSEC)
+    assert outcomes[1].completed
+    assert outcomes[1].ended_at == pytest.approx(105 * MSEC)
+
+
+def test_periodic_check_has_no_handler_for_real_signals():
+    """Periodic checking installs no disposition at all, so a stray
+    SIGALRM is a hard fault (default disposition), not a termination —
+    the strategy's whole premise is that no signal is ever sent."""
+    with pytest.raises(SyscallError, match="default disposition"):
+        run_storm(PeriodicCheckTermination(), posts=[5 * MSEC],
+                  n_jobs=1, chunk=15 * MSEC)
+
+
+# ---------------------------------------------------------------------------
+# signal exactly at the OD boundary
+# ---------------------------------------------------------------------------
+
+
+def test_sigjmp_boundary_timer_beats_completion():
+    """work == OD exactly: the engine orders timer expiries before
+    thread wake-ups at the same instant, so the part is *terminated* at
+    the boundary — and the restored mask keeps job 2 symmetric."""
+    outcomes = run_storm(SigjmpTermination(), posts=[], n_jobs=2,
+                         work=20 * MSEC)
+    assert [o.completed for o in outcomes] == [False, False]
+    assert outcomes[0].ended_at == pytest.approx(20 * MSEC)
+    assert outcomes[1].ended_at == pytest.approx(40 * MSEC)
+
+
+def test_try_catch_boundary_consumes_the_only_termination():
+    """The boundary signal terminates job 1 and wedges the mask, so
+    job 2 completes its full work unterminated."""
+    outcomes = run_storm(TryCatchTermination(), posts=[], n_jobs=2,
+                         work=20 * MSEC)
+    assert not outcomes[0].completed
+    assert outcomes[0].ended_at == pytest.approx(20 * MSEC)
+    assert outcomes[1].completed
+    assert outcomes[1].ended_at == pytest.approx(40 * MSEC)
+
+
+def test_periodic_check_boundary_chunk_counts_as_terminated():
+    """A chunk ending exactly at the OD fails the ``now < od`` check
+    even with zero work left: boundary jobs report terminated."""
+    outcomes = run_storm(PeriodicCheckTermination(), posts=[], n_jobs=1,
+                         work=20 * MSEC, chunk=10 * MSEC)
+    assert not outcomes[0].completed
+    assert outcomes[0].ended_at == pytest.approx(20 * MSEC)

@@ -1,0 +1,269 @@
+"""Unit tests for the fault injector's per-layer hooks."""
+
+import pytest
+
+from repro.core.termination import SigjmpTermination
+from repro.faults.injectors import FaultInjector, _derive
+from repro.faults.plan import FaultPlan, FaultSpec, no_faults
+from repro.simkernel import CondVar, Kernel, KTimer, Mutex, Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.syscalls import (
+    ClockNanosleep,
+    CondSignal,
+    CondWait,
+    Compute,
+    GetTime,
+    MutexLock,
+    MutexUnlock,
+)
+from repro.simkernel.time_units import MSEC
+from repro.trading.broker import BrokerDisconnectedError, SimBroker
+from repro.trading.feed import MarketFeed
+
+
+def make_kernel():
+    return Kernel(Topology(1, 1, share_fn=uniform_share))
+
+
+def run_terminated_job(plan, work=100 * MSEC, od_rel=20 * MSEC):
+    """One sigsetjmp-strategy optional part under ``plan``; returns
+    (outcome, injector)."""
+    kernel = make_kernel()
+    injector = FaultInjector(plan).attach(kernel)
+    strategy = SigjmpTermination()
+    outcomes = []
+
+    def body():
+        yield Compute(work)
+
+    def thread_body(thread):
+        timer = KTimer(thread)
+        yield from strategy.setup(timer)
+        start = yield GetTime()
+        outcome = yield from strategy.run(body(), timer, start + od_rel)
+        outcomes.append(outcome)
+
+    kernel.create_thread("optional", thread_body, cpu=0, priority=10)
+    kernel.run_to_completion()
+    return outcomes[0], injector
+
+
+# -- seed derivation --------------------------------------------------------
+
+
+def test_derive_is_deterministic_and_sensitive():
+    assert _derive(1, 2, 3) == _derive(1, 2, 3)
+    assert _derive(1, 2, 3) != _derive(3, 2, 1)
+    assert _derive(0) != _derive(0, 0)
+
+
+def test_item_chance_stable_under_repeated_queries():
+    spec = FaultSpec("net_timeout", probability=0.5)
+    draws = [FaultInjector._item_chance(7, 0, spec, job, 0)
+             for job in range(50)]
+    again = [FaultInjector._item_chance(7, 0, spec, job, 0)
+             for job in range(50)]
+    assert draws == again
+    assert any(draws) and not all(draws)  # actually probabilistic
+
+
+# -- empty plan is a no-op --------------------------------------------------
+
+
+def test_empty_plan_installs_nothing():
+    kernel = make_kernel()
+    injector = FaultInjector(no_faults())
+    network, feed, broker = object(), object(), object()
+    assert injector.wrap_network(network) is network
+    assert injector.wrap_feed(feed) is feed
+    assert injector.wrap_broker(broker) is broker
+    injector.attach(kernel)
+    assert kernel.faults is None
+    assert kernel.cost_model.stall is None
+    assert injector.counts == {}
+
+
+# -- simkernel hooks --------------------------------------------------------
+
+
+def test_signal_drop_loses_the_termination():
+    """With the OD SIGALRM dropped, the part runs to completion."""
+    plan = FaultPlan([FaultSpec("signal_drop", probability=1.0)], seed=0)
+    outcome, injector = run_terminated_job(plan)
+    assert outcome.completed  # the 20ms budget never fired
+    assert injector.counts["signal_drop"] >= 1
+
+
+def test_signal_delay_defers_the_termination():
+    plan = FaultPlan(
+        [FaultSpec("signal_delay", probability=1.0, delay=5 * MSEC)],
+        seed=0,
+    )
+    outcome, injector = run_terminated_job(plan)
+    assert not outcome.completed
+    assert outcome.ended_at == pytest.approx(25 * MSEC)  # od 20 + delay 5
+    assert injector.counts["signal_delay"] == 1
+
+
+def test_timer_drift_fires_late():
+    plan = FaultPlan(
+        [FaultSpec("timer_drift", probability=1.0, skew=4 * MSEC)],
+        seed=0,
+    )
+    outcome, injector = run_terminated_job(plan)
+    assert not outcome.completed
+    assert outcome.ended_at == pytest.approx(24 * MSEC)  # od 20 + skew 4
+    assert injector.counts["timer_drift"] == 1
+
+
+def test_spurious_wakeup_wakes_a_waiter_early():
+    plan = FaultPlan(
+        [FaultSpec("spurious_wakeup", probability=1.0, delay=0.5 * MSEC)],
+        seed=0,
+    )
+    kernel = make_kernel()
+    injector = FaultInjector(plan).attach(kernel)
+    mutex, cond = Mutex("m"), CondVar("c")
+    wake_times = []
+
+    def waiter(thread):
+        yield MutexLock(mutex)
+        yield CondWait(cond, mutex)
+        now = yield GetTime()
+        wake_times.append(now)
+        yield MutexUnlock(mutex)
+
+    def signaler(thread):
+        yield ClockNanosleep(50 * MSEC)
+        yield MutexLock(mutex)
+        yield CondSignal(cond)
+        yield MutexUnlock(mutex)
+
+    kernel.create_thread("waiter", waiter, cpu=0, priority=10)
+    kernel.create_thread("signaler", signaler, cpu=0, priority=5)
+    kernel.run_to_completion()
+    assert injector.counts["spurious_wakeup"] == 1
+    # woke at the injected instant, far before the 50ms signal
+    assert wake_times[0] < 5 * MSEC
+
+
+def test_window_gates_kernel_faults():
+    """A drop window that closes before the timer fires injects
+    nothing."""
+    plan = FaultPlan(
+        [FaultSpec("signal_drop", start=0.0, end=1 * MSEC,
+                   probability=1.0)],
+        seed=0,
+    )
+    outcome, injector = run_terminated_job(plan)
+    assert not outcome.completed  # termination arrived normally
+    assert injector.counts["signal_drop"] == 0
+
+
+# -- hardware hooks ---------------------------------------------------------
+
+
+def test_stall_multiplier_windows_and_cpu_filter():
+    plan = FaultPlan(
+        [
+            FaultSpec("cpu_stall", start=0.0, end=10.0, factor=3.0,
+                      cpus=[1]),
+            FaultSpec("cpu_stall", start=100.0, factor=2.0),
+        ],
+        seed=0,
+    )
+    injector = FaultInjector(plan)  # kernel None -> now == 0.0
+    assert injector.multiplier(0) == 1.0   # cpu filter excludes cpu 0
+    assert injector.multiplier(1) == 3.0   # first window, cpu 1
+    # second window has not started at t=0
+
+
+def test_core_throttle_and_restore():
+    plan = FaultPlan(
+        [FaultSpec("core_throttle", start=5 * MSEC, end=15 * MSEC,
+                   factor=0.5, cores=[0])],
+        seed=0,
+    )
+    kernel = make_kernel()
+    original = kernel.topology.cores[0].speed
+    injector = FaultInjector(plan).attach(kernel)
+    speeds = {}
+
+    def sampler(thread):
+        yield ClockNanosleep(10 * MSEC)
+        speeds["during"] = kernel.topology.cores[0].speed
+        yield ClockNanosleep(20 * MSEC)
+        speeds["after"] = kernel.topology.cores[0].speed
+
+    kernel.create_thread("sampler", sampler, cpu=0, priority=10)
+    kernel.run_to_completion()
+    assert speeds["during"] == pytest.approx(original * 0.5)
+    assert speeds["after"] == pytest.approx(original)
+    assert injector.counts["core_throttle"] == 1
+
+
+# -- trading proxies --------------------------------------------------------
+
+
+def test_broker_reject_and_disconnect():
+    broker = SimBroker()
+    reject_plan = FaultPlan([FaultSpec("broker_reject", probability=1.0)])
+    proxy = FaultInjector(reject_plan).wrap_broker(broker)
+    assert proxy.submit(0.0, _side(), 100.0, None) is None
+    assert broker.rejected == 1
+
+    disc_plan = FaultPlan(
+        [FaultSpec("broker_disconnect", probability=1.0)]
+    )
+    proxy = FaultInjector(disc_plan).wrap_broker(broker)
+    with pytest.raises(BrokerDisconnectedError):
+        proxy.submit(0.0, _side(), 100.0, None)
+
+
+def _side():
+    from repro.trading.broker import OrderSide
+    return OrderSide.BUY
+
+
+def test_network_proxy_injects_timeouts():
+    from repro.trading.network import NetworkModel
+    plan = FaultPlan(
+        [FaultSpec("net_timeout", probability=1.0, timeout=7 * MSEC)]
+    )
+    inner = NetworkModel(seed=1)
+    proxy = FaultInjector(plan).wrap_network(inner)
+    latency, timed_out = proxy.fetch_outcome(0)
+    assert timed_out
+    assert latency == 7 * MSEC
+    # pass-through paths still delegate
+    assert proxy.worst_case() == inner.worst_case()
+    assert proxy.fetch_latency(3) == inner.fetch_latency(3)
+
+
+def test_feed_gap_reuses_last_arrived_tick():
+    feed = MarketFeed(seed=0)
+    # every tick at/after t = 2*interval gaps out
+    plan = FaultPlan(
+        [FaultSpec("feed_gap", start=2 * feed.interval, probability=1.0)]
+    )
+    proxy = FaultInjector(plan).wrap_feed(feed)
+    assert proxy.mid(0) == feed.mid(0)
+    assert proxy.mid(1) == feed.mid(1)
+    # ticks 2..5 never arrived: the last real tick (1) is reused
+    for index in range(2, 6):
+        assert proxy.mid(index) == feed.mid(1)
+        assert proxy.tick(index).bid == feed.tick(1).bid
+
+
+def test_feed_stale_freezes_price_not_timestamp():
+    feed = MarketFeed(seed=0)
+    plan = FaultPlan(
+        [FaultSpec("feed_stale", start=3 * feed.interval,
+                   end=4 * feed.interval, probability=1.0)]
+    )
+    proxy = FaultInjector(plan).wrap_feed(feed)
+    stale = proxy.tick(3)
+    assert stale.time == feed.tick(3).time          # fresh timestamp
+    mid = (stale.bid + stale.ask) / 2.0
+    assert mid == pytest.approx(feed.mid(2))        # frozen quote
+    assert proxy.tick(4).bid == feed.tick(4).bid    # window over

@@ -1,0 +1,101 @@
+"""Tests for the kernel invariant checker."""
+
+import pytest
+
+from repro.faults.invariants import check_kernel_invariants, collect_violations
+from repro.simkernel import Kernel, Topology
+from repro.simkernel.cpu import uniform_share
+from repro.simkernel.errors import InvariantViolationError
+from repro.simkernel.syscalls import ClockNanosleep, Compute
+from repro.simkernel.thread import ThreadState
+from repro.simkernel.time_units import MSEC
+
+
+def make_kernel():
+    return Kernel(Topology(1, 2, share_fn=uniform_share))
+
+
+def run_with_probe(probe, at=5 * MSEC):
+    """Run two busy threads, calling ``probe(kernel)`` mid-run."""
+    kernel = make_kernel()
+
+    def busy(work):
+        def body(thread):
+            yield Compute(work)
+            yield ClockNanosleep(work * 2)
+            yield Compute(work)
+        return body
+
+    kernel.create_thread("a", busy(10 * MSEC), cpu=0, priority=10)
+    kernel.create_thread("b", busy(8 * MSEC), cpu=1, priority=5)
+    kernel.engine.schedule_at(at, lambda: probe(kernel))
+    kernel.run_to_completion()
+
+
+def test_healthy_kernel_has_no_violations():
+    seen = []
+    run_with_probe(lambda kernel: seen.append(collect_violations(kernel)))
+    assert seen == [[]]
+
+
+def test_check_passes_quietly_on_healthy_kernel():
+    run_with_probe(check_kernel_invariants)
+
+
+def test_corrupted_current_state_is_caught():
+    found = []
+
+    def corrupt(kernel):
+        thread = kernel.current[0]
+        assert thread is not None
+        thread.state = ThreadState.BLOCKED
+        found.extend(collect_violations(kernel))
+        thread.state = ThreadState.RUNNING  # repair so the run finishes
+
+    run_with_probe(corrupt)
+    assert any("not running" in message for message in found)
+
+
+def test_corrupted_cpu_claim_is_caught():
+    found = []
+
+    def corrupt(kernel):
+        thread = kernel.current[0]
+        thread.cpu = 1
+        found.extend(collect_violations(kernel))
+        thread.cpu = 0
+
+    run_with_probe(corrupt)
+    assert any("claims cpu" in message for message in found)
+
+
+def test_checker_raises_with_violation_list():
+    def corrupt(kernel):
+        thread = kernel.current[0]
+        thread.state = ThreadState.BLOCKED
+        try:
+            with pytest.raises(InvariantViolationError) as excinfo:
+                check_kernel_invariants(kernel)
+            assert excinfo.value.violations
+        finally:
+            thread.state = ThreadState.RUNNING
+
+    run_with_probe(corrupt)
+
+
+def test_ghost_waiter_is_caught():
+    """A wait queue entry whose thread claims to block elsewhere."""
+    found = []
+
+    def corrupt(kernel):
+        from repro.simkernel.sync import CondVar
+        thread = kernel.current[0]
+        cond = CondVar("ghost")
+        cond.waiters.append((thread, None))
+        saved = thread.blocked_on
+        thread.blocked_on = cond
+        found.extend(collect_violations(kernel))
+        thread.blocked_on = saved
+
+    run_with_probe(corrupt)
+    assert any("ghost" in message for message in found)

@@ -1,0 +1,76 @@
+"""No-fault parity: an empty plan must change *nothing*.
+
+The fault subsystem's cardinal rule is that its hooks are pay-for-use:
+a run with an empty plan attached — injector constructed, wrappers
+applied, ``attach`` called — must be bit-identical to a run that never
+imported :mod:`repro.faults` at all.
+"""
+
+from repro.faults.injectors import FaultInjector
+from repro.faults.plan import no_faults
+from repro.trading.network import NetworkModel
+from repro.trading.system import RealTimeTradingSystem
+
+
+def job_fingerprint(report):
+    """Everything scheduling-visible about a run, per job."""
+    probes = report.task_result.probes
+    return [
+        (
+            probe.release,
+            probe.mandatory_end,
+            tuple(probe.optional_end),
+            tuple(probe.optional_fate),
+            probe.windup_end,
+            probe.deadline_met,
+        )
+        for probe in probes
+    ]
+
+
+def run_system(instrumented, n_seconds=8, seed=3):
+    network = NetworkModel(seed=seed)
+    if instrumented:
+        injector = FaultInjector(no_faults())
+        network = injector.wrap_network(network)
+        system = RealTimeTradingSystem(n_seconds=n_seconds, seed=seed,
+                                       network=network)
+        task = system.task
+        task.feed = injector.wrap_feed(task.feed)
+        task.broker = injector.wrap_broker(task.broker)
+        injector.attach(system.middleware.kernel)
+    else:
+        system = RealTimeTradingSystem(n_seconds=n_seconds, seed=seed,
+                                       network=network)
+    return system.run()
+
+
+def test_empty_plan_run_is_bit_identical():
+    vanilla = run_system(instrumented=False)
+    wrapped = run_system(instrumented=True)
+    assert job_fingerprint(vanilla) == job_fingerprint(wrapped)
+    assert vanilla.summary() == wrapped.summary()
+    assert [d[1].kind for d in vanilla.decisions] == \
+        [d[1].kind for d in wrapped.decisions]
+
+
+def test_network_model_attempt_zero_is_byte_compatible():
+    """``fetch_latency(j)`` must equal the pre-retry-era value: the
+    attempt-0 stream key is unchanged, so fig10/backtest numbers hold."""
+    model = NetworkModel(seed=5)
+    for job in range(50):
+        assert model.fetch_latency(job) == \
+            model.fetch_latency(job, attempt=0)
+    # retry attempts draw a *different* deterministic stream
+    assert model.fetch_latency(3, attempt=1) != model.fetch_latency(3)
+    assert NetworkModel(seed=5).fetch_latency(3, attempt=1) == \
+        model.fetch_latency(3, attempt=1)
+
+
+def test_network_cache_is_bounded():
+    model = NetworkModel(seed=0, max_cache=64)
+    values = [model.fetch_latency(job) for job in range(1000)]
+    assert len(model._cache) <= 64
+    # eviction never changes the sampled value
+    assert model.fetch_latency(0) == values[0]
+    assert model.fetch_latency(999) == values[999]

@@ -1,0 +1,104 @@
+"""Tests for the declarative fault-plan layer."""
+
+import pytest
+
+from repro.faults.plan import FAULT_SITES, FaultPlan, FaultSpec, no_faults
+
+
+def test_every_site_names_a_layer():
+    for site, layer in FAULT_SITES.items():
+        assert isinstance(site, str) and site
+        assert any(prefix in layer
+                   for prefix in ("simkernel", "hardware", "trading"))
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultSpec("cosmic_ray")
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        FaultSpec("signal_drop", start=-1.0)
+    with pytest.raises(ValueError, match="empty window"):
+        FaultSpec("signal_drop", start=10.0, end=10.0)
+    with pytest.raises(ValueError, match="empty window"):
+        FaultSpec("signal_drop", start=10.0, end=5.0)
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        FaultSpec("signal_drop", probability=-0.1)
+    with pytest.raises(ValueError):
+        FaultSpec("signal_drop", probability=1.5)
+
+
+def test_params_must_be_json_serializable():
+    with pytest.raises(TypeError, match="not JSON-serializable"):
+        FaultSpec("cpu_stall", factor=object())
+    # JSON primitives and lists are fine
+    spec = FaultSpec("cpu_stall", factor=2.5, cpus=[0, 1], label="x",
+                     sticky=True)
+    assert spec.params == {"factor": 2.5, "cpus": [0, 1], "label": "x",
+                           "sticky": True}
+
+
+def test_window_is_half_open():
+    spec = FaultSpec("timer_drift", start=10.0, end=20.0)
+    assert not spec.active_at(9.9)
+    assert spec.active_at(10.0)
+    assert spec.active_at(19.9)
+    assert not spec.active_at(20.0)
+
+
+def test_open_ended_window():
+    spec = FaultSpec("timer_drift", start=5.0)
+    assert spec.active_at(5.0)
+    assert spec.active_at(1e18)
+    assert not spec.active_at(4.9)
+
+
+def test_spec_round_trip():
+    spec = FaultSpec("net_timeout", start=1.0, end=9.0, probability=0.25,
+                     timeout=5000.0)
+    clone = FaultSpec.from_dict(spec.to_dict())
+    assert clone.to_dict() == spec.to_dict()
+
+
+def test_plan_round_trip():
+    plan = FaultPlan(
+        [
+            FaultSpec("signal_drop", probability=0.5),
+            FaultSpec("feed_gap", start=2.0, end=4.0),
+        ],
+        seed=42, name="storm",
+    )
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.to_dict() == plan.to_dict()
+    assert clone.seed == 42
+    assert clone.name == "storm"
+    assert len(clone) == 2
+
+
+def test_plan_accepts_spec_dicts():
+    plan = FaultPlan([{"site": "broker_reject", "probability": 0.5}])
+    assert plan.specs[0].site == "broker_reject"
+    assert plan.specs[0].probability == 0.5
+
+
+def test_for_site_preserves_indices():
+    plan = FaultPlan([
+        FaultSpec("signal_drop"),
+        FaultSpec("timer_drift"),
+        FaultSpec("signal_drop", start=5.0),
+    ])
+    pairs = plan.for_site("signal_drop")
+    assert [index for index, _spec in pairs] == [0, 2]
+    assert plan.for_site("feed_gap") == []
+    assert plan.sites == ["signal_drop", "timer_drift"]
+
+
+def test_no_faults_is_empty():
+    plan = no_faults()
+    assert len(plan) == 0
+    assert plan.sites == []

@@ -1,0 +1,138 @@
+"""Unit tests for the hardening primitives in repro.core.resilience."""
+
+import pytest
+
+from repro.core.resilience import (
+    DegradedModeController,
+    OverrunWatchdog,
+    RetryPolicy,
+)
+
+
+# -- RetryPolicy ------------------------------------------------------------
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(reserve=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+def test_backoff_is_geometric():
+    policy = RetryPolicy(backoff=10.0, backoff_factor=3.0)
+    assert policy.next_backoff(1) == 10.0
+    assert policy.next_backoff(2) == 30.0
+    assert policy.next_backoff(3) == 90.0
+
+
+def test_abort_when_attempts_exhausted():
+    policy = RetryPolicy(max_attempts=2, backoff=0.0)
+    assert policy.abort_reason(2, now=0.0, budget_end=1e12,
+                               worst_case=1.0) is not None
+    assert policy.abort_reason(1, now=0.0, budget_end=1e12,
+                               worst_case=1.0) is None
+
+
+def test_abort_when_no_slack():
+    policy = RetryPolicy(max_attempts=5, backoff=100.0, reserve=50.0)
+    # next attempt: backoff 100 + worst 200 finishes at 300, past the
+    # 320 - 50 = 270 the budget allows -> no slack
+    reason = policy.abort_reason(1, now=0.0, budget_end=320.0,
+                                 worst_case=200.0)
+    assert reason is not None and "no slack" in reason
+    # with budget end 400 (allowing up to 350) the retry fits
+    assert policy.abort_reason(1, now=0.0, budget_end=400.0,
+                               worst_case=200.0) is None
+
+
+# -- OverrunWatchdog --------------------------------------------------------
+
+
+def test_watchdog_validation():
+    with pytest.raises(ValueError):
+        OverrunWatchdog(grace=-1.0)
+    assert OverrunWatchdog(grace=0.0).fired == []
+
+
+# -- DegradedModeController -------------------------------------------------
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        DegradedModeController(enter_after=0)
+    with pytest.raises(ValueError):
+        DegradedModeController(exit_after=0)
+
+
+def test_enters_after_consecutive_misses_of_one_task():
+    ctl = DegradedModeController(enter_after=3, exit_after=2)
+    ctl.record_job("a", False, 1.0)
+    ctl.record_job("a", False, 2.0)
+    assert not ctl.should_shed()
+    ctl.record_job("a", False, 3.0)
+    assert ctl.should_shed()
+
+
+def test_interleaved_misses_across_tasks_do_not_trigger():
+    """The counter is per task: two tasks each missing twice is not the
+    same pressure signal as one task missing three times in a row."""
+    ctl = DegradedModeController(enter_after=3, exit_after=2)
+    for now in range(1, 5):
+        ctl.record_job("a" if now % 2 else "b", False, float(now))
+    assert not ctl.should_shed()
+
+
+def test_met_job_resets_that_tasks_streak():
+    ctl = DegradedModeController(enter_after=3, exit_after=2)
+    ctl.record_job("a", False, 1.0)
+    ctl.record_job("a", False, 2.0)
+    ctl.record_job("a", True, 3.0)
+    ctl.record_job("a", False, 4.0)
+    ctl.record_job("a", False, 5.0)
+    assert not ctl.should_shed()
+
+
+def test_exits_after_consecutive_met_and_measures_recovery():
+    ctl = DegradedModeController(enter_after=2, exit_after=2)
+    ctl.record_job("a", False, 10.0)
+    ctl.record_job("a", False, 20.0)   # enter at t=20
+    assert ctl.should_shed()
+    ctl.record_job("a", True, 30.0)
+    assert ctl.should_shed()           # one met is not enough
+    ctl.record_job("b", True, 40.0)    # met jobs count system-wide
+    assert not ctl.should_shed()
+    assert ctl.episodes == [(20.0, 40.0)]
+    assert ctl.recovery_latencies == [20.0]
+
+
+def test_miss_during_recovery_restarts_the_met_streak():
+    ctl = DegradedModeController(enter_after=2, exit_after=2)
+    ctl.record_job("a", False, 1.0)
+    ctl.record_job("a", False, 2.0)
+    ctl.record_job("a", True, 3.0)
+    ctl.record_job("b", False, 4.0)    # pressure is back
+    ctl.record_job("a", True, 5.0)
+    assert ctl.should_shed()
+    ctl.record_job("a", True, 6.0)
+    assert not ctl.should_shed()
+
+
+def test_close_records_open_episode():
+    ctl = DegradedModeController(enter_after=1, exit_after=1)
+    ctl.record_job("a", False, 7.0)
+    assert ctl.should_shed()
+    ctl.close(99.0)
+    assert ctl.episodes == [(7.0, None)]
+    assert ctl.recovery_latencies == []  # never completed
+
+
+def test_shed_bookkeeping():
+    ctl = DegradedModeController()
+    ctl.note_shed()
+    ctl.note_shed()
+    assert ctl.shed_jobs == 2
