@@ -1,0 +1,232 @@
+"""Execute scenarios on both backends and aggregate verdicts.
+
+:func:`run_scenario` is the single entry point the CLI, the shrinker
+and the tests share: middleware run (with the kernel-trace, protocol
+and final-state oracles) plus — for fault-free scenarios — the theory
+simulator and the lockstep differential.
+"""
+
+from repro.check.differential import (
+    compare_traces,
+    normalize_middleware,
+    normalize_simulator,
+)
+from repro.check.oracles import (
+    check_final_state,
+    check_kernel_trace,
+    check_protocol,
+)
+from repro.check.scenario import CheckTask, Scenario
+from repro.core.middleware import RTSeed
+from repro.faults.injectors import FaultInjector
+from repro.model.task_model import TaskSet
+from repro.sched.simulator import ScheduleSimulator
+from repro.simkernel.cpu import Topology, uniform_share
+from repro.simkernel.errors import SimKernelError
+
+#: Event-count circuit breaker for the middleware kernel: a planted bug
+#: that livelocks the protocol hits this instead of hanging the fuzzer;
+#: the post-run liveness oracle then reports the stuck threads.
+MAX_KERNEL_EVENTS = 2_000_000
+
+
+class CheckReport:
+    """Verdict for one scenario."""
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+        self.divergences = []
+        self.violations = []
+        self.crash = None
+        self.differential_ran = False
+
+    @property
+    def ok(self):
+        return not (self.divergences or self.violations or self.crash)
+
+    def failure_kinds(self):
+        """Stable signature of *what* failed (for replay assertions)."""
+        kinds = sorted(
+            {d["kind"] for d in self.divergences}
+            | {v["oracle"] for v in self.violations}
+        )
+        if self.crash is not None:
+            kinds.append("crash")
+        return kinds
+
+    def to_dict(self):
+        return {
+            "ok": self.ok,
+            "differential_ran": self.differential_ran,
+            "divergences": self.divergences,
+            "violations": self.violations,
+            "crash": self.crash,
+        }
+
+    def summary(self):
+        if self.ok:
+            return "ok"
+        parts = []
+        if self.divergences:
+            parts.append(f"{len(self.divergences)} divergence(s): "
+                         + self.divergences[0]["detail"])
+        if self.violations:
+            first = self.violations[0]
+            parts.append(f"{len(self.violations)} oracle violation(s): "
+                         f"[{first['oracle']}] {first['detail']}")
+        if self.crash:
+            parts.append(f"crash: {self.crash}")
+        return "; ".join(parts)
+
+    def __repr__(self):
+        return f"<CheckReport {self.summary()}>"
+
+
+def run_middleware(scenario, collect_kernel_events=True):
+    """One middleware run of ``scenario``.
+
+    :returns: ``(events, kernel, crash)`` — the recorded probe events,
+        the kernel (for post-run state oracles) and the crash message
+        (``None`` on a clean run).
+    """
+    topology = Topology(scenario.n_cpus, 1, share_fn=uniform_share,
+                        background_weight=0.0)
+    middleware = RTSeed(topology=topology, cost_model="zero")
+
+    events = []
+    topics = ["rtseed.*"]
+    if collect_kernel_events:
+        topics.append("kernel.*")
+    middleware.probes.subscribe(
+        lambda topic, time, data: events.append((topic, time,
+                                                 dict(data))),
+        topics=topics,
+    )
+
+    for spec in scenario.tasks:
+        middleware.add_task(
+            CheckTask(spec),
+            n_jobs=spec.n_jobs,
+            cpu=spec.cpu,
+            optional_cpus=spec.optional_cpus,
+            optional_deadline=spec.optional_deadline,
+            start_time=scenario.start_time,
+        )
+
+    plan = scenario.build_fault_plan()
+    if plan is not None:
+        FaultInjector(plan).attach(middleware.kernel)
+
+    crash = None
+    try:
+        middleware.run(max_events=MAX_KERNEL_EVENTS)
+    except SimKernelError as error:
+        crash = f"{type(error).__name__}: {error}"
+    return events, middleware.kernel, crash
+
+
+def run_simulator(scenario):
+    """The theory-simulator run of ``scenario`` (no faults possible)."""
+    taskset = TaskSet([spec.to_model() for spec in scenario.tasks],
+                      n_processors=scenario.n_cpus)
+    simulator = ScheduleSimulator(
+        taskset,
+        policy="rmwp",
+        assignment={spec.name: spec.cpu for spec in scenario.tasks},
+        optional_assignment={
+            spec.name: spec.optional_cpus for spec in scenario.tasks
+        },
+        optional_deadlines={
+            spec.name: spec.optional_deadline for spec in scenario.tasks
+        },
+    )
+    events = []
+    simulator.probes.subscribe(
+        lambda topic, time, data: events.append((topic, time,
+                                                 dict(data))),
+        topics=["sim.*"],
+    )
+    horizon = max(
+        (spec.n_jobs + 1) * spec.period for spec in scenario.tasks
+    )
+    result = simulator.run(
+        until=horizon,
+        max_jobs_per_task={
+            spec.name: spec.n_jobs for spec in scenario.tasks
+        },
+    )
+    return events, result
+
+
+def run_scenario(scenario, collect_kernel_events=True):
+    """Full verdict for one scenario: oracles always, differential when
+    fault-free."""
+    if isinstance(scenario, dict):
+        scenario = Scenario.from_dict(scenario)
+    report = CheckReport(scenario)
+
+    mw_events, kernel, crash = run_middleware(
+        scenario, collect_kernel_events=collect_kernel_events,
+    )
+    report.crash = crash
+    if collect_kernel_events:
+        report.violations.extend(
+            check_kernel_trace(mw_events, scenario.n_cpus)
+        )
+    report.violations.extend(check_protocol(mw_events, scenario))
+    report.violations.extend(check_final_state(kernel))
+
+    if not scenario.has_faults and crash is None:
+        sim_events, _result = run_simulator(scenario)
+        report.divergences.extend(
+            compare_traces(
+                normalize_simulator(sim_events, scenario),
+                normalize_middleware(mw_events, scenario),
+                scenario,
+            )
+        )
+        report.differential_ran = True
+    return report
+
+
+def fuzz(n_runs, seed=0, fault_rate=0.0, shrink=True, max_failures=5,
+         on_progress=None):
+    """Run ``n_runs`` generated scenarios starting at ``seed``.
+
+    :param shrink: minimize each failing scenario and attach a repro
+        artifact (:func:`repro.check.shrink.make_artifact`).
+    :param max_failures: stop early after this many failures.
+    :param on_progress: optional ``f(seed, report)`` callback.
+    :returns: dict with ``runs``, ``failures`` (list of artifacts) and
+        ``differential_runs`` counts.
+    """
+    from repro.check.scenario import generate_scenario
+    from repro.check.shrink import make_artifact, shrink_report
+
+    failures = []
+    differential_runs = 0
+    runs = 0
+    for current in range(seed, seed + n_runs):
+        scenario = generate_scenario(current, fault_rate=fault_rate)
+        try:
+            report = run_scenario(scenario)
+        except Exception as error:  # checker bug — report, don't hide
+            report = CheckReport(scenario)
+            report.crash = f"checker error {type(error).__name__}: {error}"
+        runs += 1
+        differential_runs += report.differential_ran
+        if not report.ok:
+            shrink_runs = 0
+            if shrink:
+                scenario, shrink_runs = shrink_report(report)
+            failures.append(make_artifact(scenario, report,
+                                          shrink_runs=shrink_runs))
+        if on_progress is not None:
+            on_progress(current, report)
+        if len(failures) >= max_failures:
+            break
+    return {
+        "runs": runs,
+        "differential_runs": differential_runs,
+        "failures": failures,
+    }

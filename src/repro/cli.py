@@ -30,6 +30,12 @@ Commands
 ``faults``
     Run seeded fault-injection scenarios against the trading system and
     emit a deterministic JSON resilience report.
+
+``check``
+    Differential conformance fuzzing: random scenarios run on both the
+    theory simulator and the middleware simkernel, compared in
+    lockstep and checked against trace oracles; failures are shrunk to
+    replayable JSON repro artifacts (see docs/CHECKING.md).
 """
 
 import argparse
@@ -141,6 +147,28 @@ def _add_faults_parser(subparsers):
                              "stdout")
     parser.add_argument("--list", action="store_true",
                         help="list the canned scenarios and exit")
+
+
+def _add_check_parser(subparsers):
+    parser = subparsers.add_parser(
+        "check", help="differential conformance fuzzing"
+    )
+    parser.add_argument("--runs", type=int, default=100,
+                        help="number of generated scenarios")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first scenario seed (then seed+1, ...)")
+    parser.add_argument("--fault-rate", type=float, default=0.0,
+                        help="fraction of scenarios carrying a fault "
+                             "plan (oracle checks only, no differential)")
+    parser.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="delta-debug failing scenarios (default on)")
+    parser.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many failing scenarios")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write one repro JSON per failure here")
+    parser.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run a saved repro artifact and exit")
 
 
 def _load_from_name(name):
@@ -409,6 +437,53 @@ def cmd_faults(args, out):
     return 0
 
 
+def cmd_check(args, out):
+    from repro.check import fuzz, load_artifact, replay_artifact
+    from repro.check.shrink import save_artifact
+
+    if args.replay:
+        artifact = load_artifact(args.replay)
+        report = replay_artifact(artifact)
+        expected = set(artifact["failure_kinds"])
+        got = set(report.failure_kinds())
+        print(f"replay {args.replay}: {report.summary()}", file=out)
+        if expected and not (expected & got):
+            print(f"DID NOT REPRODUCE (expected {sorted(expected)}, "
+                  f"got {sorted(got)})", file=out)
+            return 1
+        return 0
+
+    def progress(seed, report):
+        if not report.ok:
+            print(f"seed {seed}: FAIL — {report.summary()}", file=out)
+
+    result = fuzz(
+        args.runs,
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+        shrink=args.shrink,
+        max_failures=args.max_failures,
+        on_progress=progress,
+    )
+    failures = result["failures"]
+    if args.artifacts and failures:
+        import os
+
+        os.makedirs(args.artifacts, exist_ok=True)
+        for artifact in failures:
+            path = os.path.join(args.artifacts,
+                                f"repro-seed{artifact['seed']}.json")
+            save_artifact(path, artifact)
+            print(f"wrote {path}", file=out)
+    print(
+        f"{result['runs']} runs from seed {args.seed}: "
+        f"{result['differential_runs']} differential, "
+        f"{len(failures)} failure(s)",
+        file=out,
+    )
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "overheads": cmd_overheads,
     "sweep": cmd_sweep,
@@ -418,6 +493,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "faults": cmd_faults,
+    "check": cmd_check,
 }
 
 
@@ -436,6 +512,7 @@ def build_parser():
     _add_trace_parser(subparsers)
     _add_metrics_parser(subparsers)
     _add_faults_parser(subparsers)
+    _add_check_parser(subparsers)
     return parser
 
 

@@ -35,8 +35,8 @@ protocol already paid a ``GetTime`` for.
 
 from repro.core.queues import nrtq_priority
 from repro.core.task import TaskContext
-from repro.core.termination import SigjmpTermination
-from repro.simkernel.errors import JobAbortError
+from repro.core.termination import OptionalOutcome, SigjmpTermination
+from repro.simkernel.errors import JobAbortError, SignalUnwind
 from repro.simkernel.sync import CondVar, Mutex
 from repro.simkernel.syscalls import (
     ClockNanosleep,
@@ -403,8 +403,16 @@ class RealTimeProcess:
                                 part=part_index, job=job_index,
                                 tid=thread.tid)
                 body_gen = task.exec_optional(ctx, part_index)
-                outcome = yield from self.strategy.run(body_gen, timer,
-                                                       od_abs, probes=bus)
+                try:
+                    outcome = yield from self.strategy.run(
+                        body_gen, timer, od_abs, probes=bus)
+                except SignalUnwind:
+                    # a stale (delayed/duplicated) timer signal escaped
+                    # the strategy's handler frame; count the part as
+                    # terminated rather than killing the thread.
+                    now = yield GetTime()
+                    outcome = OptionalOutcome(
+                        False, probe.optional_start[part_index], now)
                 probe.optional_end[part_index] = outcome.ended_at
                 probe.optional_fate[part_index] = outcome.fate
                 if bus.active:

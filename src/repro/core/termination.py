@@ -27,7 +27,12 @@ shared, so the bus travels as a call argument, never instance state.
 
 from repro.simkernel.errors import SignalUnwind
 from repro.simkernel.signals import SIGALRM, UnwindDisposition
-from repro.simkernel.syscalls import GetTime, Sigaction, TimerSettime
+from repro.simkernel.syscalls import (
+    GetTime,
+    SetSignalMask,
+    Sigaction,
+    TimerSettime,
+)
 
 
 class OptionalOutcome:
@@ -95,7 +100,18 @@ class TerminationStrategy:
 class SigjmpTermination(TerminationStrategy):
     """Figure 7: one-shot optional-deadline timer + ``SIGALRM`` handler
     that ``siglongjmp``\\ s back to the ``sigsetjmp`` point, restoring the
-    saved stack context *and signal mask*."""
+    saved stack context *and signal mask*.
+
+    ``SIGALRM`` is blocked everywhere except while the optional body
+    runs.  ``timer_settime(..., 0)`` cannot recall a signal the kernel
+    already queued — if the part completes in the same instant the
+    timer fires (or delivery is delayed), a *stale* ``SIGALRM`` would
+    otherwise land while the thread waits for its next job and unwind
+    it outside any handler frame, killing the thread.  Keeping the
+    signal blocked outside the part window parks stale deliveries as
+    pending; the worst case is an immediate (harmless) termination at
+    the start of the next part.
+    """
 
     name = "sigsetjmp/siglongjmp"
     any_time_termination = True
@@ -103,19 +119,26 @@ class SigjmpTermination(TerminationStrategy):
 
     def setup(self, timer):
         yield Sigaction(SIGALRM, UnwindDisposition(restore_mask=True))
+        yield SetSignalMask({SIGALRM})
 
     def run(self, body, timer, od_abs, probes=None):
         started_at = yield GetTime()
         try:
             # sigsetjmp(...) == 0 branch: arm the one-shot timer and run.
             yield TimerSettime(timer, od_abs)
+            yield SetSignalMask(set())
             yield from body
-            # Completed: stop the optional deadline timer.
+            # Completed: stop the optional deadline timer and close the
+            # delivery window before touching any shared protocol state.
+            yield SetSignalMask({SIGALRM})
             yield TimerSettime(timer, None)
             ended_at = yield GetTime()
             outcome = OptionalOutcome(True, started_at, ended_at)
         except SignalUnwind:
-            # siglongjmp landed: stack context and signal mask restored.
+            # siglongjmp landed: stack context and signal mask restored
+            # (re-block first — a second in-flight delivery must not
+            # unwind the post-part bookkeeping).
+            yield SetSignalMask({SIGALRM})
             ended_at = yield GetTime()
             outcome = OptionalOutcome(False, started_at, ended_at)
         _publish_outcome(probes, self, outcome, od_abs)

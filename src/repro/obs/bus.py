@@ -80,6 +80,33 @@ PROBE_SITES = {
     "kernel.migrate": (
         "simkernel/kernel.py",
         "affinity moved a thread; fields: from_cpu, to_cpu"),
+    "kernel.prio_boost": (
+        "simkernel/kernel.py",
+        "priority inheritance raised a mutex owner; fields: old_prio, "
+        "waiter"),
+    "kernel.prio_restore": (
+        "simkernel/kernel.py",
+        "mutex release dropped an inherited boost; fields: old_prio"),
+    # -- repro.sched.simulator (theory-level job lifecycle) ------------
+    "sim.release": (
+        "sched/simulator.py", "job released; fields: task, job, release"),
+    "sim.mandatory_begin": (
+        "sched/simulator.py", "mandatory part first scheduled"),
+    "sim.mandatory_end": ("sched/simulator.py", "mandatory part done"),
+    "sim.optional_begin": (
+        "sched/simulator.py",
+        "optional part first scheduled; fields: task, job, part"),
+    "sim.optional_end": (
+        "sched/simulator.py", "optional part ended; fields: part, fate"),
+    "sim.discard": (
+        "sched/simulator.py",
+        "optional parts discarded (mandatory ran past OD); fields: "
+        "n_parts"),
+    "sim.windup_begin": (
+        "sched/simulator.py", "wind-up part first scheduled"),
+    "sim.windup_end": ("sched/simulator.py", "wind-up part done"),
+    "sim.job_done": (
+        "sched/simulator.py", "job complete; fields: task, job, met"),
     # -- repro.core.process / termination (Fig. 9 measurement points) --
     "rtseed.release": (
         "core/process.py", "job released; fields: task, job, release"),

@@ -16,8 +16,8 @@ __ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAy
 
 Timestamps are simulated nanoseconds converted to the format's
 microseconds.  Thread ids are remapped to first-seen dense indices so
-two identical seeded runs export **byte-identical** documents even
-though ``KernelThread.tid`` is a process-global counter.
+documents stay stable even across exporters fed merged multi-kernel
+streams; within one kernel, tids are already per-run deterministic.
 
 :class:`JsonlExporter` is the low-tech sibling: every probe event as
 one JSON line on a stream, suitable for ``jq`` pipelines and diffing

@@ -51,6 +51,7 @@ from repro.model.task_model import (
     ExtendedImpreciseTask,
     ParallelExtendedImpreciseTask,
 )
+from repro.obs.bus import ProbeBus
 
 _EPSILON = 1e-6
 
@@ -234,6 +235,12 @@ class ScheduleSimulator:
                  optional_assignment=None, global_sched=False,
                  optional_deadlines=None, priorities=None):
         self.sched_class = get_sched_class(policy)
+        #: Probe bus for ``sim.*`` lifecycle events, stamped with the
+        #: simulation clock.  Idle (zero subscribers) unless a consumer
+        #: — e.g. the differential checker in :mod:`repro.check` —
+        #: subscribes before :meth:`run`.
+        self.probes = ProbeBus(clock=self)
+        self._time = 0.0
         # Custom SchedClass instances run in whole-job mode; only the
         # registered "rmwp" class triggers part-level semantics.
         self.policy = {"fifo99": "fifo"}.get(self.sched_class.name,
@@ -290,6 +297,12 @@ class ScheduleSimulator:
         else:
             self._priorities = {}
 
+    @property
+    def now(self):
+        """Current simulation time (the clock contract of
+        :class:`~repro.obs.bus.ProbeBus`)."""
+        return self._time
+
     def _compute_optional_deadlines(self):
         if self.global_sched:
             return optional_deadlines_rmwp(self.taskset.tasks)
@@ -305,15 +318,24 @@ class ScheduleSimulator:
     # timed-event handlers (run through the shared engine)
     # ------------------------------------------------------------------
 
+    def _job_cap(self, task):
+        cap = self._max_jobs_per_task
+        if isinstance(cap, dict):
+            return cap.get(task.name)
+        return cap
+
     def _on_release(self, task, index):
-        if (self._max_jobs_per_task is not None
-                and index >= self._max_jobs_per_task):
+        cap = self._job_cap(task)
+        if cap is not None and index >= cap:
             return
         release = index * task.period
         if release > self._horizon - _EPSILON:
             return
         job = self._make_job(task, index, release)
         self._jobs.append(job)
+        if self.probes.active:
+            self.probes.publish("sim.release", task=task.name, job=index,
+                                release=release)
         self._ready.add(self._initial_item(job))
         if job.optional_deadline is not None:
             self._engine.schedule_at(
@@ -372,17 +394,34 @@ class ScheduleSimulator:
         record.executed = (
             self._optional_length(item) - max(item.remaining, 0.0)
         )
+        if self.probes.active:
+            self.probes.publish(
+                "sim.optional_end", task=item.job.task.name,
+                job=item.job.index, part=record.index, fate=fate,
+            )
 
     def _complete_item(self, item, time):
         job = item.job
+        probes = self.probes
         if item.part is PartType.WHOLE:
             job.completed = time
+            if probes.active:
+                probes.publish("sim.job_done", task=job.task.name,
+                               job=job.index,
+                               met=time <= job.deadline + _EPSILON)
         elif item.part is PartType.MANDATORY:
             job.mandatory_completed = time
+            if probes.active:
+                probes.publish("sim.mandatory_end", task=job.task.name,
+                               job=job.index)
             if getattr(job, "od_passed_before_mandatory", False):
                 for record in job.optional_parts:
                     record.fate = "discarded"
                     record.ended_at = time
+                if probes.active:
+                    probes.publish("sim.discard", task=job.task.name,
+                                   job=job.index,
+                                   n_parts=len(job.optional_parts))
                 self._release_windup(job, time)
             else:
                 self._release_optional(job, time)
@@ -397,6 +436,12 @@ class ScheduleSimulator:
         elif item.part is PartType.WINDUP:
             job.windup_completed = time
             job.completed = time
+            if probes.active:
+                probes.publish("sim.windup_end", task=job.task.name,
+                               job=job.index)
+                probes.publish("sim.job_done", task=job.task.name,
+                               job=job.index,
+                               met=time <= job.deadline + _EPSILON)
 
     # ------------------------------------------------------------------
 
@@ -404,7 +449,11 @@ class ScheduleSimulator:
         """Simulate the schedule.
 
         :param until: horizon (defaults to the hyperperiod).
-        :param max_jobs_per_task: stop releasing after this many jobs.
+        :param max_jobs_per_task: stop releasing after this many jobs —
+            either one int applied to every task, or a
+            ``{task name: cap}`` mapping (tasks absent from the mapping
+            are uncapped).  Per-task caps let mixed-period task sets run
+            a fixed job count each, as the middleware's ``n_jobs`` does.
         :returns: :class:`SimulationResult`.
         """
         horizon = until if until is not None else self.taskset.hyperperiod
@@ -566,15 +615,26 @@ class ScheduleSimulator:
             if not item.started:
                 item.started = True
                 job = item.job
+                probes = self.probes
                 if item.part is PartType.MANDATORY and \
                         job.mandatory_started is None:
                     job.mandatory_started = time
+                    if probes.active:
+                        probes.publish("sim.mandatory_begin",
+                                       task=job.task.name, job=job.index)
                 elif item.part is PartType.WINDUP and \
                         job.windup_started is None:
                     job.windup_started = time
+                    if probes.active:
+                        probes.publish("sim.windup_begin",
+                                       task=job.task.name, job=job.index)
                 elif item.part is PartType.OPTIONAL and item.record and \
                         item.record.started_at is None:
                     item.record.started_at = time
+                    if probes.active:
+                        probes.publish("sim.optional_begin",
+                                       task=job.task.name, job=job.index,
+                                       part=item.record.index)
             if item.part is PartType.OPTIONAL and item.record is not None:
                 item.record.executed = (
                     self._optional_length(item) - item.remaining

@@ -132,6 +132,10 @@ class Kernel:
         #: default) keeps every hook site to a single attribute test, the
         #: same zero-overhead pattern as the probe bus.
         self.faults = None
+        #: per-kernel tid counter, assigned at :meth:`spawn` so two
+        #: same-seed kernels in one process emit byte-identical probe
+        #: streams (a process-global counter would skew the second run).
+        self._next_tid = 1
 
     # ------------------------------------------------------------------
     # public API
@@ -160,6 +164,8 @@ class Kernel:
         if thread.state is not ThreadState.NEW:
             raise SchedulingError(f"{thread!r} already started")
         self._check_cpu(thread.cpu)
+        thread.tid = self._next_tid
+        self._next_tid += 1
         thread.materialize()
         self.threads.append(thread)
         self._emit("spawn", thread)
@@ -734,8 +740,10 @@ class Kernel:
         mutex.last_owner_cpu = thread.cpu
         if mutex.boosted_from is not None:
             # PTHREAD_PRIO_INHERIT: drop back to the pre-boost priority.
+            boosted_prio = thread.priority
             thread.priority = mutex.boosted_from
             mutex.boosted_from = None
+            self._emit("prio_restore", thread, old_prio=boosted_prio)
             if thread.state is ThreadState.RUNNING:
                 self._request_resched(thread.cpu)
         if mutex.waiters:
@@ -754,15 +762,20 @@ class Kernel:
             return
         if mutex.boosted_from is None:
             mutex.boosted_from = owner.priority
+        old_prio = owner.priority
         if owner.state is ThreadState.READY:
             # requeue discipline: urgency changed, so remove at the old
             # priority and re-enqueue at the boosted one
             self.sched_class.dequeue(self.runqueues[owner.cpu], owner)
             owner.priority = waiter.priority
             self.sched_class.enqueue(self.runqueues[owner.cpu], owner)
+            self._emit("prio_boost", owner, old_prio=old_prio,
+                       waiter=waiter.name)
             self._request_resched(owner.cpu)
         else:
             owner.priority = waiter.priority
+            self._emit("prio_boost", owner, old_prio=old_prio,
+                       waiter=waiter.name)
 
     def _sys_mutex_lock(self, thread, request, cost):
         mutex = request.mutex

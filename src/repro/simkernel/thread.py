@@ -34,8 +34,6 @@ class KernelThread:
     :param policy: scheduling class.
     """
 
-    _next_tid = 1
-
     def __init__(
         self,
         name,
@@ -48,8 +46,9 @@ class KernelThread:
             raise SchedulingError(
                 f"FIFO priority {priority} outside [{MIN_RT_PRIO}, {MAX_RT_PRIO}]"
             )
-        self.tid = KernelThread._next_tid
-        KernelThread._next_tid += 1
+        #: assigned by :meth:`Kernel.spawn` from a per-kernel counter, so
+        #: same-seed runs in one process get identical tids.
+        self.tid = None
         self.name = name
         self._body = body
         self.gen = None

@@ -18,6 +18,8 @@ from repro.bench.overheads import (
 from repro.hardware.loads import BackgroundLoad
 from repro.simkernel.time_units import MSEC
 
+pytestmark = pytest.mark.tier1
+
 
 def test_parallel_counts_match_paper():
     """Section V-A: np in {4, 8, 16, 32, 57, 114, 171, 228}."""

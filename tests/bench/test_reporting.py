@@ -2,6 +2,10 @@
 
 from repro.bench.reporting import format_series, format_table
 
+import pytest
+
+pytestmark = pytest.mark.tier1
+
 
 def test_format_table_basic():
     out = format_table(["a", "bb"], [[1, 2], [30, 40]], title="T")

@@ -7,6 +7,8 @@ from repro.bench.traces import (
     fig3_remaining_time_traces,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def test_fig3_general_curve():
     traces = fig3_remaining_time_traces()

@@ -1,0 +1,32 @@
+"""Long-running fuzz campaigns — excluded from the default (tier-1)
+run, exercised by the CI ``fuzz-smoke`` job and on demand::
+
+    PYTHONPATH=src python -m pytest -m fuzz -q
+"""
+
+import pytest
+
+from repro.check import fuzz
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_clean_campaign_has_zero_divergences():
+    result = fuzz(n_runs=50, seed=5, shrink=False)
+    assert result["failures"] == []
+    # most runs carry no fault plan, so the differential actually ran
+    assert result["differential_runs"] == result["runs"] == 50
+
+
+def test_faulted_campaign_completes_without_checker_crashes():
+    """With faults injected the differential is skipped (faults change
+    timing by design); the trace oracles must still hold and the
+    checker itself must never crash."""
+    result = fuzz(n_runs=30, seed=11, fault_rate=0.5, shrink=False)
+    crashes = [
+        artifact for artifact in result["failures"]
+        if "crash" in artifact["failure_kinds"]
+    ]
+    assert result["runs"] == 30
+    assert crashes == []
+    assert result["failures"] == []

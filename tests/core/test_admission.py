@@ -5,6 +5,8 @@ import pytest
 from repro.core.admission import AdmissionController
 from repro.model import ExtendedImpreciseTask
 
+pytestmark = pytest.mark.tier1
+
 
 def task(name, mandatory, windup, period):
     return ExtendedImpreciseTask(name, mandatory, 1.0, windup, period)

@@ -26,6 +26,8 @@ from repro.simkernel import (
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC
 
+pytestmark = pytest.mark.tier1
+
 
 def run_wakeup(use_broadcast, n_waiters=4, signals=2):
     """``signals`` of ``n_waiters`` parts should run; count who woke."""

@@ -11,6 +11,8 @@ from repro.simkernel import Topology
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 
 def small_machine():
     return Topology(4, 4, share_fn=uniform_share, background_weight=0.0)

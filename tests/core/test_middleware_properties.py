@@ -21,6 +21,8 @@ from repro.simkernel import Topology
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 config_strategy = st.fixed_dictionaries(
     {
         "n_parallel": st.integers(min_value=1, max_value=6),

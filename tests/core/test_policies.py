@@ -14,6 +14,8 @@ from repro.core.policies import (
 from repro.hardware.xeonphi import xeon_phi_topology
 from repro.simkernel.cpu import Topology
 
+pytestmark = pytest.mark.tier1
+
 
 @pytest.fixture(scope="module")
 def phi():

@@ -12,6 +12,8 @@ from repro.simkernel import Kernel, Topology
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 
 def make_kernel():
     return Kernel(Topology(4, 2, share_fn=uniform_share,

@@ -8,6 +8,8 @@ from repro.simkernel import Kernel, Topology
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 
 def make_kernel(n_cores=4, threads_per_core=2):
     return Kernel(Topology(n_cores, threads_per_core,

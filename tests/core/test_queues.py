@@ -23,6 +23,8 @@ from repro.simkernel import (
 )
 from repro.simkernel.cpu import uniform_share
 
+pytestmark = pytest.mark.tier1
+
 
 def test_band_constants_match_paper():
     assert HPQ_PRIORITY == 99

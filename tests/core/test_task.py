@@ -7,6 +7,8 @@ from repro.model.task_model import ParallelExtendedImpreciseTask
 from repro.simkernel.syscalls import Compute
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 
 def test_task_validation():
     with pytest.raises(ValueError):

@@ -14,6 +14,8 @@ from repro.simkernel.cpu import uniform_share
 from repro.simkernel.syscalls import Compute, GetTime
 from repro.simkernel.time_units import MSEC
 
+pytestmark = pytest.mark.tier1
+
 
 def run_strategy_jobs(strategy, n_jobs=2, work=100 * MSEC, od_rel=20 * MSEC,
                       chunk=None):

@@ -20,6 +20,8 @@ from repro.simkernel.signals import SIGALRM
 from repro.simkernel.syscalls import Compute, GetTime
 from repro.simkernel.time_units import MSEC
 
+pytestmark = pytest.mark.tier1
+
 
 def run_storm(strategy, posts, n_jobs=2, work=100 * MSEC,
               od_rel=20 * MSEC, chunk=None):

@@ -25,6 +25,8 @@ from repro.simkernel import Topology
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 
 def _machine(n_cores=8):
     """Single-thread cores: no SMT rate sharing, so zero-cost kernel

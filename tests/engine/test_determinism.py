@@ -17,6 +17,10 @@ from repro.simkernel import Topology
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC, SEC
 
+import pytest
+
+pytestmark = pytest.mark.tier1
+
 
 # ---------------------------------------------------------------------------
 # theory-level simulator

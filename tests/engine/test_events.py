@@ -10,6 +10,10 @@ import random
 
 from repro.engine.events import Engine
 
+import pytest
+
+pytestmark = pytest.mark.tier1
+
 
 def _live_scan(engine):
     """Ground truth for pending_count: O(n) scan of the heap."""

@@ -1,0 +1,135 @@
+"""Property-based tests for the ready-queue disciplines.
+
+Three families, per the conformance-subsystem plan:
+
+* equal-priority FIFO order survives arbitrary interleavings of
+  enqueue/dequeue on :class:`IndexedLevelQueue`;
+* :class:`HeapReadyQueue`'s lazy-cancel compaction never drops a live
+  entry, whatever push/remove sequence precedes it;
+* the heap and indexed-level disciplines agree on every pop when driven
+  with the same integer priorities.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.readyqueue import (
+    HeapReadyQueue,
+    IndexedLevelQueue,
+    ReadyQueueError,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class Item:
+    __slots__ = ("name", "prio")
+
+    def __init__(self, name, prio):
+        self.name = name
+        self.prio = prio
+
+    def __repr__(self):
+        return f"<{self.name} prio={self.prio}>"
+
+
+# an op sequence: (kind, value) with kind 0=push, 1=remove-oldest-live,
+# 2=pop; value selects the priority for pushes
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(1, 5)),
+    min_size=1, max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=ops_strategy)
+def test_equal_priority_fifo_under_interleaving(ops):
+    """Within one level, pops come out in enqueue order no matter how
+    enqueues, targeted removals and pops interleave."""
+    queue = IndexedLevelQueue(1, 10)
+    model = {prio: [] for prio in range(1, 6)}
+    counter = 0
+    for kind, prio in ops:
+        if kind == 0:
+            counter += 1
+            item = Item(f"i{counter}", prio)
+            queue.enqueue(item, prio)
+            model[prio].append(item)
+        elif kind == 1:
+            live = [p for p in model if model[p]]
+            if not live:
+                continue
+            victim_prio = live[prio % len(live)]
+            victim = model[victim_prio].pop(0)
+            queue.dequeue(victim, victim_prio)
+        else:
+            if not queue:
+                continue
+            item, popped_prio = queue.pop()
+            top = max(p for p in model if model[p])
+            assert popped_prio == top
+            assert item is model[top].pop(0)  # FIFO within the level
+    assert len(queue) == sum(len(v) for v in model.values())
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=ops_strategy)
+def test_lazy_cancel_compaction_keeps_live_entries(ops):
+    """However removals interleave with pushes, the heap always drains
+    to exactly the live set, most urgent first and FIFO within ties."""
+    queue = HeapReadyQueue(key=lambda item: -item.prio)
+    live = []
+    counter = 0
+    for kind, prio in ops:
+        if kind in (0, 2):  # treat pop ops as pushes too: more churn
+            counter += 1
+            item = Item(f"i{counter}", prio)
+            queue.push(item)
+            live.append(item)
+        else:
+            if not live:
+                continue
+            victim = live.pop(prio % len(live))
+            queue.remove(victim)
+    assert len(queue) == len(live)
+    assert set(iter(queue)) == set(live)
+    drained = [queue.pop() for _ in range(len(queue))]
+    expected = sorted(live, key=lambda item: -item.prio)
+    # stable sort == FIFO tie-break on equal priorities
+    assert drained == expected
+    with pytest.raises(ReadyQueueError):
+        queue.pop()
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=ops_strategy)
+def test_heap_and_indexed_level_disciplines_agree(ops):
+    """Driven with identical integer priorities, both disciplines pick
+    the same item on every pop."""
+    heap = HeapReadyQueue(key=lambda item: -item.prio)
+    levels = IndexedLevelQueue(1, 10)
+    counter = 0
+    for kind, prio in ops:
+        if kind == 0:
+            counter += 1
+            item = Item(f"i{counter}", prio)
+            heap.push(item)
+            levels.enqueue(item, prio)
+        elif kind == 1:
+            item = next(iter(levels), None)
+            if item is None:
+                continue
+            heap.remove(item)
+            levels.dequeue(item, item.prio)
+        else:
+            if not levels:
+                continue
+            from_levels, popped_prio = levels.pop()
+            from_heap = heap.pop()
+            assert from_heap is from_levels
+            assert popped_prio == from_levels.prio
+    assert len(heap) == len(levels)
+    while levels:
+        item, _prio = levels.pop()
+        assert heap.pop() is item

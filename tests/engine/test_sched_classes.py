@@ -22,6 +22,8 @@ from repro.engine.classes import (
 )
 from repro.engine.readyqueue import HeapReadyQueue, IndexedLevelQueue
 
+pytestmark = pytest.mark.tier1
+
 
 class _Task:
     def __init__(self, name, period, deadline=None):

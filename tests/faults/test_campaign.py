@@ -12,6 +12,8 @@ from repro.faults.campaign import (
 )
 from repro.simkernel.time_units import SEC
 
+pytestmark = pytest.mark.tier1
+
 
 def test_unknown_scenario_rejected():
     with pytest.raises(KeyError, match="unknown scenario"):

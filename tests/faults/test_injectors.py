@@ -20,6 +20,8 @@ from repro.simkernel.time_units import MSEC
 from repro.trading.broker import BrokerDisconnectedError, SimBroker
 from repro.trading.feed import MarketFeed
 
+pytestmark = pytest.mark.tier1
+
 
 def make_kernel():
     return Kernel(Topology(1, 1, share_fn=uniform_share))

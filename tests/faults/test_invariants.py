@@ -10,6 +10,8 @@ from repro.simkernel.syscalls import ClockNanosleep, Compute
 from repro.simkernel.thread import ThreadState
 from repro.simkernel.time_units import MSEC
 
+pytestmark = pytest.mark.tier1
+
 
 def make_kernel():
     return Kernel(Topology(1, 2, share_fn=uniform_share))

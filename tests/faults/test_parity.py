@@ -11,6 +11,10 @@ from repro.faults.plan import no_faults
 from repro.trading.network import NetworkModel
 from repro.trading.system import RealTimeTradingSystem
 
+import pytest
+
+pytestmark = pytest.mark.tier1
+
 
 def job_fingerprint(report):
     """Everything scheduling-visible about a run, per job."""

@@ -4,6 +4,8 @@ import pytest
 
 from repro.faults.plan import FAULT_SITES, FaultPlan, FaultSpec, no_faults
 
+pytestmark = pytest.mark.tier1
+
 
 def test_every_site_names_a_layer():
     for site, layer in FAULT_SITES.items():

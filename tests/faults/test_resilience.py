@@ -8,6 +8,8 @@ from repro.core.resilience import (
     RetryPolicy,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 # -- RetryPolicy ------------------------------------------------------------
 

@@ -17,6 +17,8 @@ from repro.hardware.xeonphi import (
 )
 from repro.simkernel import Kernel
 
+pytestmark = pytest.mark.tier1
+
 
 def test_machine_spec_matches_paper():
     """Section V-A: Xeon Phi 3120A, 57 cores / 228 hardware threads at

@@ -11,6 +11,8 @@ from repro.model.task_model import (
     ParallelExtendedImpreciseTask,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 @settings(max_examples=100, deadline=None)
 @given(

@@ -5,6 +5,8 @@ import pytest
 from repro.model import ExtendedImpreciseTask, Job, JobOutcome, PartType
 from repro.model.job import OptionalPartRecord
 
+pytestmark = pytest.mark.tier1
+
 
 def _task():
     return ExtendedImpreciseTask("tau", mandatory=3.0, optional=5.0,

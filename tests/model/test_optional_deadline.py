@@ -13,6 +13,8 @@ from repro.model.optional_deadline import (
     windup_response_time,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def test_single_task_paper_formula():
     """Section V-A: OD_1 = D_1 - w_1 for the lone evaluation task."""

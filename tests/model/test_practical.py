@@ -9,6 +9,8 @@ from repro.model.practical import (
 )
 from repro.model.task_model import ExtendedImpreciseTask
 
+pytestmark = pytest.mark.tier1
+
 
 def _chain(mandatory_parts, period=100.0, optionals=None):
     if optionals is None:

@@ -12,6 +12,8 @@ from repro.model import (
     TaskSet,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 # ---------------------------------------------------------------------------
 # PeriodicTask

@@ -7,6 +7,8 @@ from repro.core.task import WorkloadTask
 from repro.obs.bus import PROBE_SITES, ProbeBus, _make_matcher
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 
 class FakeClock:
     def __init__(self, now=0.0):

@@ -20,6 +20,8 @@ from repro.obs.export import (
 )
 from repro.simkernel.time_units import MSEC
 
+pytestmark = pytest.mark.tier1
+
 
 def make_middleware(n_parallel=2, n_jobs=2, seed=0):
     middleware = RTSeed(seed=seed)  # calibrated cost model: nonzero costs

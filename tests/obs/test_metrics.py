@@ -15,6 +15,8 @@ from repro.obs.metrics import (
 )
 from repro.simkernel.time_units import MSEC
 
+pytestmark = pytest.mark.tier1
+
 
 # ---------------------------------------------------------------------------
 # primitives

@@ -2,6 +2,10 @@
 
 from repro.obs.profile import NullProfile, WallClockProfile
 
+import pytest
+
+pytestmark = pytest.mark.tier1
+
 
 class FakeClock:
     """Deterministic perf_counter replacement."""

@@ -19,6 +19,8 @@ from repro.sched import (
 )
 from repro.sched.rmus import rm_us_schedulable
 
+pytestmark = pytest.mark.tier1
+
 
 # ---------------------------------------------------------------------------
 # Rate Monotonic

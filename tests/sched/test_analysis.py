@@ -15,6 +15,8 @@ from repro.sched.analysis import (
     utilization,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def test_liu_layland_bound_values():
     assert liu_layland_bound(1) == pytest.approx(1.0)

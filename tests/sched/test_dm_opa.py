@@ -12,6 +12,8 @@ from repro.sched.dm import (
     opa_schedulable,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def test_dm_orders_by_relative_deadline():
     tasks = [

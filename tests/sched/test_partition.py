@@ -14,6 +14,8 @@ from repro.sched.partition import (
     worst_fit,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def _utilization_predicate(tasks):
     return sum(t.utilization for t in tasks) <= 1.0 + 1e-12

@@ -15,6 +15,8 @@ from repro.model import (
 from repro.model.job import PartType
 from repro.sched import RMWP, ScheduleSimulator, SimulationResult
 
+pytestmark = pytest.mark.tier1
+
 
 def _single_eval_task(n_parallel=1):
     """The paper's evaluation task: m = w = 250, o = 1000, T = 1000."""

@@ -12,6 +12,8 @@ from repro.simkernel.costmodel import (
     ZeroCostModel,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def test_base_cost_model_charges_nothing():
     model = CostModel()

@@ -8,6 +8,8 @@ from repro.simkernel.cpu import (
     xeon_phi_share,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def test_xeon_phi_share_single_thread_half_throughput():
     assert xeon_phi_share(1) == 0.5

@@ -4,6 +4,8 @@ import pytest
 
 from repro.simkernel.engine import Engine
 
+pytestmark = pytest.mark.tier1
+
 
 def test_starts_at_zero():
     engine = Engine()

@@ -38,6 +38,8 @@ from repro.simkernel.errors import (
 )
 from repro.simkernel.syscalls import SetSignalMask, Spawn
 
+pytestmark = pytest.mark.tier1
+
 
 def make_kernel(n_cores=1, threads_per_core=1, **kwargs):
     kwargs.setdefault("share_fn", uniform_share)

@@ -22,6 +22,8 @@ from repro.simkernel.cpu import uniform_share
 from repro.simkernel.thread import ThreadState
 from repro.simkernel.trace import Tracer
 
+pytestmark = pytest.mark.tier1
+
 # A program is a list of ("compute", work) / ("sleep", delay) /
 # ("yield",) steps.
 step_strategy = st.one_of(

@@ -15,6 +15,8 @@ from repro.simkernel import (
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC
 
+pytestmark = pytest.mark.tier1
+
 
 def make_kernel():
     return Kernel(Topology(1, 1, share_fn=uniform_share))

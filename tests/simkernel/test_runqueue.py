@@ -13,6 +13,8 @@ from repro.simkernel.runqueue import (
     PriorityBitmap,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 class Item:
     """Hashless-by-identity payload (mirrors how threads are stored)."""

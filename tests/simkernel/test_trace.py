@@ -12,6 +12,8 @@ from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC
 from repro.simkernel.trace import Tracer
 
+pytestmark = pytest.mark.tier1
+
 
 def traced_run():
     kernel = Kernel(Topology(2, 1, share_fn=uniform_share))

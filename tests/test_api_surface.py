@@ -23,6 +23,8 @@ from repro.simkernel import Kernel, KernelThread, Topology
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.thread import SchedPolicy, ThreadState
 
+pytestmark = pytest.mark.tier1
+
 
 def test_rm_sufficient_tests_pair():
     tasks = [PeriodicTask("a", 1, 10), PeriodicTask("b", 1, 20)]

@@ -6,6 +6,8 @@ import pytest
 
 from repro.cli import build_parser, main
 
+pytestmark = pytest.mark.tier1
+
 
 def run_cli(argv):
     out = io.StringIO()

@@ -1,0 +1,69 @@
+"""The coverage ratchet tool: enforce, noise slack, one-way update."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.tier1
+
+TOOL = pathlib.Path(__file__).parent.parent / "tools" / "coverage_ratchet.py"
+
+spec = importlib.util.spec_from_file_location("coverage_ratchet", TOOL)
+ratchet = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(ratchet)
+
+
+def _report(tmp_path, rate):
+    path = tmp_path / "coverage.xml"
+    path.write_text(
+        f'<?xml version="1.0" ?>\n<coverage line-rate="{rate}" '
+        f'version="7.0"></coverage>\n'
+    )
+    return str(path)
+
+
+@pytest.fixture
+def floor(tmp_path, monkeypatch):
+    path = tmp_path / "coverage-ratchet.json"
+    monkeypatch.setattr(ratchet, "RATCHET_FILE", path)
+    ratchet.save_floor(80.0)
+    return path
+
+
+def test_passes_at_or_above_floor(tmp_path, floor, capsys):
+    assert ratchet.main([_report(tmp_path, "0.80")]) == 0
+    assert ratchet.main([_report(tmp_path, "0.92")]) == 0
+
+
+def test_noise_slack_below_floor_tolerated(tmp_path, floor):
+    assert ratchet.main([_report(tmp_path, "0.799")]) == 0
+
+
+def test_fails_on_real_decrease(tmp_path, floor, capsys):
+    assert ratchet.main([_report(tmp_path, "0.78")]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_update_only_raises_the_floor(tmp_path, floor):
+    assert ratchet.main([_report(tmp_path, "0.85"), "--update"]) == 0
+    assert ratchet.load_floor() == 85.0
+    assert ratchet.main([_report(tmp_path, "0.70"), "--update"]) == 0
+    assert ratchet.load_floor() == 85.0
+
+
+def test_rejects_non_cobertura_report(tmp_path, floor):
+    path = tmp_path / "bogus.xml"
+    path.write_text("<report></report>")
+    with pytest.raises(SystemExit, match="line-rate"):
+        ratchet.main([str(path)])
+
+
+def test_committed_floor_file_is_valid():
+    """The repo's own ratchet file parses and holds a sane value."""
+    import json
+
+    repo_floor = json.loads(
+        (TOOL.parent.parent / "coverage-ratchet.json").read_text()
+    )["line_coverage_floor_percent"]
+    assert 0.0 < repo_floor <= 100.0

@@ -18,6 +18,8 @@ from repro.model.optional_deadline import optional_deadlines_rmwp
 from repro.sched import RMWP, ScheduleSimulator
 from repro.sched.analysis import response_time_analysis, rta_schedulable
 
+pytestmark = pytest.mark.tier1
+
 PERIOD_MENU = [8.0, 12.0, 16.0, 24.0, 48.0]
 
 

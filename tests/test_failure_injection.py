@@ -20,6 +20,8 @@ from repro.simkernel.syscalls import TimerSettime
 from repro.simkernel.time_units import MSEC, SEC
 from repro.simkernel.timers import KTimer
 
+pytestmark = pytest.mark.tier1
+
 
 def small_machine():
     return Topology(4, 4, share_fn=uniform_share, background_weight=0.0)

@@ -15,6 +15,8 @@ from repro.simkernel import Topology
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 
 def machine(n_cores=8, threads_per_core=4):
     return Topology(n_cores, threads_per_core, share_fn=uniform_share,

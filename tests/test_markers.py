@@ -1,0 +1,66 @@
+"""Meta-test: every test module declares exactly one tier marker.
+
+The default run (``addopts`` deselects ``slow`` and ``fuzz``) must be
+the tier-1 verify set *by construction*: a module with no tier marker
+would silently ride along in the default run without being claimed by
+``-m tier1``, and a module with two tiers has an ambiguous budget.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.tier1
+
+TIERS = {"tier1", "slow", "fuzz"}
+TESTS_DIR = pathlib.Path(__file__).parent
+
+
+def _declared_tiers(path):
+    """Tier markers named in the module's ``pytestmark`` assignment."""
+    tree = ast.parse(path.read_text())
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "pytestmark"
+            for t in node.targets
+        ):
+            continue
+        names = {
+            n.attr for n in ast.walk(node.value)
+            if isinstance(n, ast.Attribute)
+        }
+        return names & TIERS
+    return set()
+
+
+def _test_modules():
+    return sorted(TESTS_DIR.rglob("test_*.py"))
+
+
+def test_every_module_declares_exactly_one_tier():
+    problems = []
+    for path in _test_modules():
+        tiers = _declared_tiers(path)
+        if len(tiers) != 1:
+            problems.append((str(path.relative_to(TESTS_DIR)),
+                             sorted(tiers)))
+    assert not problems, (
+        "modules without exactly one tier marker: " + repr(problems)
+    )
+
+
+def test_default_run_is_exactly_the_tier1_set():
+    """``addopts`` deselects slow+fuzz, so default == ``-m tier1`` iff
+    no module mixes tiers — guaranteed by the single-tier rule above."""
+    tier1 = sum(
+        1 for path in _test_modules() if _declared_tiers(path) == {"tier1"}
+    )
+    excluded = sum(
+        1 for path in _test_modules()
+        if _declared_tiers(path) & {"slow", "fuzz"}
+    )
+    assert tier1 + excluded == len(_test_modules())
+    assert tier1 > 0 and excluded > 0

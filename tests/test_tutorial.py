@@ -9,6 +9,8 @@ from repro.simkernel import Topology, Tracer
 from repro.simkernel.cpu import uniform_share
 from repro.simkernel.time_units import MSEC, SEC
 
+pytestmark = pytest.mark.tier1
+
 
 class Pi(Task):
     """The tutorial's anytime-pi task (docs/TUTORIAL.md, step 1)."""

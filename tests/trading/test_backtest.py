@@ -14,6 +14,8 @@ from repro.trading.indicators import (
 )
 from repro.trading.strategy import DecisionKind, WeightedVote
 
+pytestmark = pytest.mark.tier1
+
 
 # ---------------------------------------------------------------------------
 # new indicators

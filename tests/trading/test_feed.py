@@ -6,6 +6,8 @@ import pytest
 from repro.trading.feed import HistoricalFeed, MarketFeed, Tick
 from repro.simkernel.time_units import SEC
 
+pytestmark = pytest.mark.tier1
+
 
 def test_tick_mid_and_spread():
     tick = Tick(0.0, 1.0999, 1.1001)

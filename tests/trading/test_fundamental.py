@@ -9,6 +9,8 @@ from repro.trading.fundamental import (
     synthetic_macro,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def test_macro_series_deterministic():
     a = MacroSeries("gdp", seed=5)

@@ -17,6 +17,8 @@ from repro.trading.indicators import (
     sma,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 # ---------------------------------------------------------------------------
 # pure functions

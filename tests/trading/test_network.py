@@ -11,6 +11,8 @@ from repro.trading.feed import MarketFeed
 from repro.trading.indicators import AnytimeMomentum
 from repro.trading.system import TradingTask
 
+pytestmark = pytest.mark.tier1
+
 
 def test_latency_deterministic_per_seed_and_job():
     first = NetworkModel(seed=5)

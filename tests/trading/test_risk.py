@@ -5,6 +5,8 @@ import pytest
 from repro.trading.broker import Account, OrderSide
 from repro.trading.risk import RiskManager, RiskVerdict
 
+pytestmark = pytest.mark.tier1
+
 
 def test_allow_within_limits():
     manager = RiskManager(max_position=1000)

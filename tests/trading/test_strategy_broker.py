@@ -7,6 +7,8 @@ from repro.trading.feed import Tick
 from repro.trading.indicators import Estimate
 from repro.trading.strategy import Decision, DecisionKind, WeightedVote
 
+pytestmark = pytest.mark.tier1
+
 
 def est(signal, confidence, name="x"):
     return Estimate(name, signal, confidence)

@@ -16,6 +16,8 @@ from repro.trading.system import (
     default_analyzers,
 )
 
+pytestmark = pytest.mark.tier1
+
 
 def small_machine():
     return Topology(4, 4, share_fn=uniform_share, background_weight=0.0)

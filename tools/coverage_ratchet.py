@@ -1,0 +1,82 @@
+"""Coverage ratchet: fail CI when line coverage drops below the
+committed floor.
+
+Usage::
+
+    python tools/coverage_ratchet.py coverage.xml            # enforce
+    python tools/coverage_ratchet.py coverage.xml --update   # bump floor
+
+The floor lives in ``coverage-ratchet.json`` next to the repo root and
+only moves *up* (``--update`` refuses to lower it).  Enforcement allows
+a small slack below the floor for run-to-run noise (randomized test
+order, platform dict-ordering differences), so the ratchet catches real
+regressions, not jitter.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import xml.etree.ElementTree as ET
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RATCHET_FILE = REPO_ROOT / "coverage-ratchet.json"
+
+#: percentage points of tolerated run-to-run noise below the floor.
+SLACK = 0.25
+
+
+def measured_line_rate(xml_path):
+    """Overall line coverage percent from a Cobertura ``coverage.xml``."""
+    root = ET.parse(xml_path).getroot()
+    rate = root.get("line-rate")
+    if rate is None:
+        raise SystemExit(f"{xml_path}: no line-rate attribute (not a "
+                         f"Cobertura report?)")
+    return float(rate) * 100.0
+
+
+def load_floor():
+    data = json.loads(RATCHET_FILE.read_text())
+    return float(data["line_coverage_floor_percent"])
+
+
+def save_floor(value):
+    RATCHET_FILE.write_text(json.dumps(
+        {"line_coverage_floor_percent": round(value, 2)},
+        indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to coverage.xml")
+    parser.add_argument("--update", action="store_true",
+                        help="raise the floor to the measured value")
+    args = parser.parse_args(argv)
+
+    measured = measured_line_rate(args.report)
+    floor = load_floor()
+    print(f"line coverage: {measured:.2f}% (floor {floor:.2f}%)")
+
+    if args.update:
+        if measured <= floor:
+            print("measured coverage does not exceed the floor; "
+                  "ratchet unchanged")
+            return 0
+        save_floor(measured)
+        print(f"floor raised to {measured:.2f}%")
+        return 0
+
+    if measured < floor - SLACK:
+        print(f"FAIL: coverage fell {floor - measured:.2f} points below "
+              f"the committed floor ({RATCHET_FILE.name}); add tests or "
+              f"justify lowering the ratchet explicitly")
+        return 1
+    if measured > floor + 2.0:
+        print(f"note: coverage is {measured - floor:.2f} points above "
+              f"the floor — consider `--update` to lock in the gain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
