@@ -19,11 +19,19 @@ JSON blob suitable for committing as ``BENCH_engine.json``:
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine_perf.py [--label after]
+    # one-off report to stdout
+    PYTHONPATH=src python benchmarks/bench_engine_perf.py [--engine fast]
 
-Prints the JSON to stdout; redirect or merge by hand into
-``BENCH_engine.json`` (the committed file holds a ``before`` and an
-``after`` section).
+    # record a per-PR trajectory point (median-of-5 fig10) in
+    # BENCH_engine.json -- appends to the ``history`` list, never
+    # overwrites or rewrites earlier entries
+    PYTHONPATH=src python benchmarks/bench_engine_perf.py \
+        --append BENCH_engine.json --pr my-pr-id --engine fast
+
+``BENCH_engine.json`` is an append-only trajectory: one entry per PR
+per engine, each a median-of-5 (``--runs``) fig10 measurement with the
+workload seed recorded, so successive PRs can chart events/sec over the
+repo's history without re-running old trees.
 """
 
 import argparse
@@ -50,11 +58,16 @@ SIM_UTILIZATION = 0.65
 SIM_REPEATS = 60
 
 
-def bench_fig10(observers=None):
+FIG10_SEED = 0
+
+
+def bench_fig10(observers=None, engine=None, n_jobs=FIG10_N_JOBS):
     """The bench_fig10_mandatory workload; returns (events, seconds).
 
     :param observers: optional callable receiving the kernel before the
         run (used by :func:`bench_obs_overhead` to subscribe probes).
+    :param engine: backend name forwarded to :class:`RTSeed`
+        (``None`` = process default, see ``repro.engine.backend``).
     """
     from repro.bench.overheads import (
         OPTIONAL_DEADLINE,
@@ -62,11 +75,12 @@ def bench_fig10(observers=None):
     )
 
     start = time.perf_counter()
-    middleware = RTSeed(load=BackgroundLoad.NONE, seed=0)
+    middleware = RTSeed(load=BackgroundLoad.NONE, seed=FIG10_SEED,
+                        engine=engine)
     task = make_eval_task(FIG10_N_PARALLEL)
     middleware.add_task(
         task,
-        n_jobs=FIG10_N_JOBS,
+        n_jobs=n_jobs,
         cpu=0,
         policy="one_by_one",
         optional_deadline=OPTIONAL_DEADLINE,
@@ -78,7 +92,7 @@ def bench_fig10(observers=None):
     return middleware.kernel.engine.events_processed, elapsed
 
 
-def bench_obs_overhead():
+def bench_obs_overhead(engine=None):
     """Probe-bus cost on fig10: unobserved vs. fully observed.
 
     Returns a dict with events/sec for both configurations and the
@@ -91,7 +105,7 @@ def bench_obs_overhead():
     from repro.simkernel.trace import Tracer
 
     # interleave to be fair to CPU-frequency drift: idle, observed, idle
-    idle_a = bench_fig10()
+    idle_a = bench_fig10(engine=engine)
     subscribed = {}
 
     def attach(kernel):
@@ -99,8 +113,8 @@ def bench_obs_overhead():
         subscribed["metrics"] = SchedulerMetrics.attach(kernel)
         subscribed["exporter"] = ChromeTraceExporter.attach(kernel)
 
-    observed = bench_fig10(observers=attach)
-    idle_b = bench_fig10()
+    observed = bench_fig10(observers=attach, engine=engine)
+    idle_b = bench_fig10(engine=engine)
 
     idle_events = idle_a[0] + idle_b[0]
     idle_secs = idle_a[1] + idle_b[1]
@@ -173,18 +187,84 @@ def bench_simulator():
     return total_jobs, time.perf_counter() - start
 
 
+def fig10_trajectory_entry(pr, engine=None, runs=5, n_jobs=FIG10_N_JOBS):
+    """Median-of-``runs`` fig10 measurement shaped for the
+    ``BENCH_engine.json`` ``history`` list."""
+    samples = [bench_fig10(engine=engine, n_jobs=n_jobs)
+               for _ in range(runs)]
+    events = samples[0][0]
+    rates = sorted(ev / secs for ev, secs in samples)
+    median = rates[len(rates) // 2] if runs % 2 else \
+        (rates[runs // 2 - 1] + rates[runs // 2]) / 2.0
+    return {
+        "pr": pr,
+        "engine": engine or "default",
+        "seed": FIG10_SEED,
+        "n_jobs": n_jobs,
+        "runs": runs,
+        "fig10_mandatory": {
+            "events": events,
+            "events_per_sec_median": round(median, 1),
+            "events_per_sec_best": round(rates[-1], 1),
+        },
+    }
+
+
+def append_trajectory(path, entry):
+    """Append ``entry`` to the ``history`` list in ``path``.
+
+    Strictly append-only: earlier entries are never rewritten, so the
+    committed file is a per-PR throughput trajectory."""
+    with open(path) as handle:
+        data = json.load(handle)
+    data.setdefault("history", []).append(entry)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    return data
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="run")
+    parser.add_argument("--engine", default=None,
+                        choices=["reference", "fast"],
+                        help="execution-core backend for the simkernel "
+                             "benches (fig10, obs_overhead)")
+    parser.add_argument("--append", default=None, metavar="JSON",
+                        help="append a fig10 trajectory entry to this "
+                             "BENCH_engine.json instead of printing the "
+                             "full report")
+    parser.add_argument("--pr", default="unlabeled",
+                        help="PR identifier recorded in the trajectory "
+                             "entry (with --append)")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="samples for the median (with --append)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: fewer fig10 jobs and a "
+                             "single sample (CI bench-smoke)")
     args = parser.parse_args(argv)
 
-    fig10_events, fig10_secs = bench_fig10()
+    n_jobs = 6 if args.quick else FIG10_N_JOBS
+    runs = 1 if args.quick else args.runs
+
+    if args.append:
+        entry = fig10_trajectory_entry(args.pr, engine=args.engine,
+                                       runs=runs, n_jobs=n_jobs)
+        append_trajectory(args.append, entry)
+        json.dump(entry, sys.stdout, indent=2)
+        print()
+        return
+
+    fig10_events, fig10_secs = bench_fig10(engine=args.engine,
+                                           n_jobs=n_jobs)
     ablation_sets, ablation_secs = bench_ablation()
     sim_jobs, sim_secs = bench_simulator()
-    obs_overhead = bench_obs_overhead()
+    obs_overhead = bench_obs_overhead(engine=args.engine)
 
     report = {
         "label": args.label,
+        "engine": args.engine or "default",
         "fig10_mandatory": {
             "events": fig10_events,
             "seconds": round(fig10_secs, 4),

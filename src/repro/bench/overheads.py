@@ -96,9 +96,10 @@ class OverheadSample:
 
 def run_overhead_experiment(n_parallel, policy="one_by_one",
                             load=BackgroundLoad.NONE, n_jobs=100, seed=0,
-                            overhead_allowance=DEFAULT_ALLOWANCE):
+                            overhead_allowance=DEFAULT_ALLOWANCE,
+                            engine=None):
     """Run one configuration and return its :class:`OverheadSample`."""
-    middleware = RTSeed(load=load, seed=seed)
+    middleware = RTSeed(load=load, seed=seed, engine=engine)
     task = make_eval_task(n_parallel, overhead_allowance)
     middleware.add_task(
         task,

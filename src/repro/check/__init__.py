@@ -36,11 +36,14 @@ from repro.check.oracles import (
 from repro.check.runner import (
     CheckReport,
     fuzz,
+    fuzz_engine_diff,
+    run_engine_diff,
     run_middleware,
     run_scenario,
     run_simulator,
 )
 from repro.check.scenario import (
+    ENGINE_DIFF_FAULT_SITE_MENU,
     CheckTask,
     Scenario,
     ScenarioTask,
@@ -67,9 +70,12 @@ __all__ = [
     "check_protocol",
     "CheckReport",
     "fuzz",
+    "fuzz_engine_diff",
+    "run_engine_diff",
     "run_middleware",
     "run_scenario",
     "run_simulator",
+    "ENGINE_DIFF_FAULT_SITE_MENU",
     "CheckTask",
     "Scenario",
     "ScenarioTask",

@@ -82,16 +82,26 @@ class CheckReport:
         return f"<CheckReport {self.summary()}>"
 
 
-def run_middleware(scenario, collect_kernel_events=True):
+def run_middleware(scenario, collect_kernel_events=True, engine=None,
+                   cost_model="zero", noise_seed=0):
     """One middleware run of ``scenario``.
 
+    :param engine: execution-core backend (``"reference"`` / ``"fast"``
+        / ``None`` for the process default) — see
+        :mod:`repro.engine.backend`.
+    :param cost_model: passed to :class:`~repro.core.middleware.RTSeed`;
+        the conformance oracles use ``"zero"`` (costs would diverge from
+        the theory simulator), the engine differential uses
+        ``"xeonphi"`` so the noisy cost path is exercised too.
+    :param noise_seed: cost-model noise seed (``"xeonphi"`` only).
     :returns: ``(events, kernel, crash)`` — the recorded probe events,
         the kernel (for post-run state oracles) and the crash message
         (``None`` on a clean run).
     """
     topology = Topology(scenario.n_cpus, 1, share_fn=uniform_share,
                         background_weight=0.0)
-    middleware = RTSeed(topology=topology, cost_model="zero")
+    middleware = RTSeed(topology=topology, cost_model=cost_model,
+                        seed=noise_seed, engine=engine)
 
     events = []
     topics = ["rtseed.*"]
@@ -187,6 +197,113 @@ def run_scenario(scenario, collect_kernel_events=True):
         )
         report.differential_ran = True
     return report
+
+
+def run_engine_diff(scenario, noise_seed=None):
+    """Lockstep fast-vs-reference differential for one scenario.
+
+    Runs the identical middleware stack once per engine backend — with
+    the noisy Xeon Phi cost model, so the batched noise stream and the
+    stall-multiplier path are exercised — and requires the recorded
+    ``rtseed.*``/``kernel.*`` probe streams to be *exactly* equal
+    (topics, float timestamps, payloads), along with the final clock and
+    event count.  Fault plans (including ``core_throttle`` repricing
+    and ``cpu_stall`` cost multipliers) are allowed: both runs replay
+    the same deterministic plan.
+
+    :returns: a :class:`CheckReport` whose divergences have kind
+        ``engine_mismatch``.
+    """
+    if isinstance(scenario, dict):
+        scenario = Scenario.from_dict(scenario)
+    report = CheckReport(scenario)
+    if noise_seed is None:
+        noise_seed = scenario.seed
+
+    sides = {}
+    for engine in ("reference", "fast"):
+        sides[engine] = run_middleware(
+            scenario, engine=engine, cost_model="xeonphi",
+            noise_seed=noise_seed,
+        )
+    ref_events, ref_kernel, ref_crash = sides["reference"]
+    fast_events, fast_kernel, fast_crash = sides["fast"]
+    report.differential_ran = True
+
+    def mismatch(detail):
+        report.divergences.append(
+            {"kind": "engine_mismatch", "detail": detail}
+        )
+
+    if ref_crash != fast_crash:
+        mismatch(f"crash divergence: reference={ref_crash!r} "
+                 f"fast={fast_crash!r}")
+        return report
+    report.crash = None  # an *identical* crash is still equivalence
+
+    if len(ref_events) != len(fast_events):
+        mismatch(f"event-count divergence: reference recorded "
+                 f"{len(ref_events)}, fast {len(fast_events)}")
+    for index, (ref, fast) in enumerate(zip(ref_events, fast_events)):
+        if ref != fast:
+            mismatch(f"first stream divergence at event {index}: "
+                     f"reference={ref!r} fast={fast!r}")
+            break
+    if ref_kernel.engine.now != fast_kernel.engine.now:
+        mismatch(f"final clock divergence: reference="
+                 f"{ref_kernel.engine.now!r} "
+                 f"fast={fast_kernel.engine.now!r}")
+    if (ref_kernel.engine.events_processed
+            != fast_kernel.engine.events_processed):
+        mismatch(f"events_processed divergence: reference="
+                 f"{ref_kernel.engine.events_processed} "
+                 f"fast={fast_kernel.engine.events_processed}")
+    return report
+
+
+def fuzz_engine_diff(n_runs, seed=0, fault_rate=0.25, max_failures=5,
+                     on_progress=None):
+    """Run ``n_runs`` generated scenarios through the engine
+    differential (:func:`run_engine_diff`).
+
+    Unlike :func:`fuzz`, faulted scenarios still run the differential —
+    both backends replay the same plan — so the default ``fault_rate``
+    is non-zero and the menu includes the hardware sites
+    (:data:`repro.check.scenario.ENGINE_DIFF_FAULT_SITE_MENU`).
+    """
+    from repro.check.scenario import (
+        ENGINE_DIFF_FAULT_SITE_MENU,
+        generate_scenario,
+    )
+    from repro.check.shrink import make_artifact
+
+    failures = []
+    runs = 0
+    differential_runs = 0
+    for current in range(seed, seed + n_runs):
+        scenario = generate_scenario(
+            current, fault_rate=fault_rate,
+            fault_sites=ENGINE_DIFF_FAULT_SITE_MENU,
+        )
+        try:
+            report = run_engine_diff(scenario)
+        except Exception as error:  # checker bug — report, don't hide
+            report = CheckReport(scenario)
+            report.crash = f"checker error {type(error).__name__}: {error}"
+        runs += 1
+        differential_runs += report.differential_ran
+        if not report.ok:
+            failures.append(make_artifact(scenario, report,
+                                          shrink_runs=0))
+        if on_progress is not None:
+            on_progress(current, report)
+        if len(failures) >= max_failures:
+            break
+    return {
+        "runs": runs,
+        "differential_runs": differential_runs,
+        "failures": failures,
+    }
 
 
 def fuzz(n_runs, seed=0, fault_rate=0.0, shrink=True, max_failures=5,

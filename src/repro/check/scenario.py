@@ -67,6 +67,15 @@ PERIOD_MENU = (50 * MSEC, 100 * MSEC, 200 * MSEC, 400 * MSEC)
 #: the scheduling invariants the oracles assert.
 FAULT_SITE_MENU = ("signal_delay", "timer_drift", "spurious_wakeup")
 
+#: Fault sites for the fast-vs-reference engine differential
+#: (``repro check --engine-diff``).  That mode compares the *same*
+#: stack against itself on two backends, so hardware-side faults are
+#: fair game too — ``cpu_stall`` exercises the stall multiplier
+#: composing with batch-priced costs, ``core_throttle`` exercises
+#: mid-run repricing through :meth:`Kernel.set_core_speed`.
+ENGINE_DIFF_FAULT_SITE_MENU = FAULT_SITE_MENU + ("cpu_stall",
+                                                 "core_throttle")
+
 
 class ScenarioTask:
     """One parallel-extended task of a scenario (data only).
@@ -252,21 +261,23 @@ def _assign_partitions(rng, models, rt_cpus, max_attempts=64):
     return None
 
 
-def generate_scenario(seed, fault_rate=0.0):
+def generate_scenario(seed, fault_rate=0.0, fault_sites=FAULT_SITE_MENU):
     """Draw one random scenario from ``seed`` (deterministically).
 
     :param fault_rate: probability the scenario carries a fault plan
         (such scenarios run oracle checks only, not the differential).
+    :param fault_sites: menu the fault plan draws from; engine-diff
+        passes :data:`ENGINE_DIFF_FAULT_SITE_MENU`.
     """
     rng = np.random.default_rng(seed)
     for attempt in range(128):
-        scenario = _try_generate(rng, seed, fault_rate)
+        scenario = _try_generate(rng, seed, fault_rate, fault_sites)
         if scenario is not None:
             return scenario
     raise RuntimeError(f"seed {seed}: no schedulable scenario in 128 draws")
 
 
-def _try_generate(rng, seed, fault_rate):
+def _try_generate(rng, seed, fault_rate, fault_sites=FAULT_SITE_MENU):
     n_cpus = int(rng.integers(2, 5))
     # RT band on the low CPUs, one dedicated CPU per optional part on
     # the rest (see module docstring).  Bias toward a single shared RT
@@ -373,7 +384,7 @@ def _try_generate(rng, seed, fault_rate):
 
     fault_plan = None
     if fault_rate > 0 and rng.random() < fault_rate:
-        fault_plan = _draw_fault_plan(rng, seed, max_period)
+        fault_plan = _draw_fault_plan(rng, seed, max_period, fault_sites)
 
     return Scenario(
         n_cpus=n_cpus,
@@ -384,20 +395,30 @@ def _try_generate(rng, seed, fault_rate):
     )
 
 
-def _draw_fault_plan(rng, seed, max_period):
+def _draw_fault_plan(rng, seed, max_period, sites=FAULT_SITE_MENU):
     specs = []
-    for site in FAULT_SITE_MENU:
+    for site in sites:
         if rng.random() < 0.5:
             continue
         params = {}
+        end = None
         if site == "signal_delay":
             params["delay"] = float(rng.uniform(0.1, 2.0) * MSEC)
         elif site == "timer_drift":
             params["skew"] = float(rng.uniform(0.1, 2.0) * MSEC)
+        elif site == "cpu_stall":
+            params["factor"] = float(rng.uniform(1.2, 3.0))
+        elif site == "core_throttle":
+            params["factor"] = float(rng.uniform(0.3, 0.9))
+            params["cores"] = [0]
+            # a bounded window so the restore path (set_core_speed back
+            # to the original rate mid-run) is exercised too
+            end = float(rng.uniform(2.0, 6.0)) * max_period
         specs.append(
             FaultSpec(
                 site,
                 start=0.0,
+                end=end,
                 probability=float(rng.uniform(0.2, 0.8)),
                 **params,
             ).to_dict()

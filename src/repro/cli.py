@@ -54,6 +54,7 @@ def _add_overheads_parser(subparsers):
                         choices=["none", "cpu", "cpu_memory"])
     parser.add_argument("--jobs", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
+    _add_engine_argument(parser)
 
 
 def _add_sweep_parser(subparsers):
@@ -77,6 +78,7 @@ def _add_trade_parser(subparsers):
                         choices=["none", "cpu", "cpu_memory"])
     parser.add_argument("--od-ms", type=float, default=None,
                         help="relative optional deadline in ms")
+    _add_engine_argument(parser)
 
 
 def _add_figures_parser(subparsers):
@@ -109,6 +111,7 @@ def _add_workload_arguments(parser):
     parser.add_argument("--load", default="none",
                         choices=["none", "cpu", "cpu_memory"])
     parser.add_argument("--seed", type=int, default=0)
+    _add_engine_argument(parser)
 
 
 def _add_trace_parser(subparsers):
@@ -149,6 +152,14 @@ def _add_faults_parser(subparsers):
                         help="list the canned scenarios and exit")
 
 
+def _add_engine_argument(parser):
+    parser.add_argument("--engine", default=None,
+                        choices=["reference", "fast"],
+                        help="execution-core backend (default: "
+                             "$RTSEED_ENGINE or reference); seeded "
+                             "runs are byte-identical either way")
+
+
 def _add_check_parser(subparsers):
     parser = subparsers.add_parser(
         "check", help="differential conformance fuzzing"
@@ -157,9 +168,12 @@ def _add_check_parser(subparsers):
                         help="number of generated scenarios")
     parser.add_argument("--seed", type=int, default=0,
                         help="first scenario seed (then seed+1, ...)")
-    parser.add_argument("--fault-rate", type=float, default=0.0,
+    parser.add_argument("--fault-rate", type=float, default=None,
                         help="fraction of scenarios carrying a fault "
-                             "plan (oracle checks only, no differential)")
+                             "plan (default 0; oracle checks only, no "
+                             "differential — except --engine-diff, "
+                             "which defaults to 0.25 and runs the "
+                             "differential on faulted scenarios too)")
     parser.add_argument("--shrink", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="delta-debug failing scenarios (default on)")
@@ -169,6 +183,13 @@ def _add_check_parser(subparsers):
                         help="write one repro JSON per failure here")
     parser.add_argument("--replay", default=None, metavar="FILE",
                         help="re-run a saved repro artifact and exit")
+    parser.add_argument("--engine-diff", action="store_true",
+                        help="lockstep fast-vs-reference differential "
+                             "instead of the theory oracle: every "
+                             "scenario runs on both engine backends "
+                             "and the probe streams must be "
+                             "byte-identical (fault plans allowed, "
+                             "default fault rate 0.25)")
 
 
 def _load_from_name(name):
@@ -191,6 +212,7 @@ def cmd_overheads(args, out):
         load=_load_from_name(args.load),
         n_jobs=args.jobs,
         seed=args.seed,
+        engine=args.engine,
     )
     rows = [
         [f"Δ{which}", f"{sample.mean(which):.1f}",
@@ -253,6 +275,7 @@ def cmd_trade(args, out):
         optional_deadline=(
             None if args.od_ms is None else args.od_ms * MSEC
         ),
+        engine=args.engine,
     )
     report = system.run()
     summary = report.summary()
@@ -343,13 +366,15 @@ def _build_workload(args):
             seed=args.seed,
             policy=args.policy,
             load=_load_from_name(args.load),
+            engine=args.engine,
         )
         return system.middleware.kernel, system.run
 
     from repro.bench.overheads import OPTIONAL_DEADLINE, make_eval_task
     from repro.core.middleware import RTSeed
 
-    middleware = RTSeed(load=_load_from_name(args.load), seed=args.seed)
+    middleware = RTSeed(load=_load_from_name(args.load), seed=args.seed,
+                        engine=args.engine)
     middleware.add_task(
         make_eval_task(args.n_parallel),
         n_jobs=args.jobs,
@@ -438,7 +463,12 @@ def cmd_faults(args, out):
 
 
 def cmd_check(args, out):
-    from repro.check import fuzz, load_artifact, replay_artifact
+    from repro.check import (
+        fuzz,
+        fuzz_engine_diff,
+        load_artifact,
+        replay_artifact,
+    )
     from repro.check.shrink import save_artifact
 
     if args.replay:
@@ -457,14 +487,25 @@ def cmd_check(args, out):
         if not report.ok:
             print(f"seed {seed}: FAIL — {report.summary()}", file=out)
 
-    result = fuzz(
-        args.runs,
-        seed=args.seed,
-        fault_rate=args.fault_rate,
-        shrink=args.shrink,
-        max_failures=args.max_failures,
-        on_progress=progress,
-    )
+    if args.engine_diff:
+        result = fuzz_engine_diff(
+            args.runs,
+            seed=args.seed,
+            fault_rate=(0.25 if args.fault_rate is None
+                        else args.fault_rate),
+            max_failures=args.max_failures,
+            on_progress=progress,
+        )
+    else:
+        result = fuzz(
+            args.runs,
+            seed=args.seed,
+            fault_rate=(0.0 if args.fault_rate is None
+                        else args.fault_rate),
+            shrink=args.shrink,
+            max_failures=args.max_failures,
+            on_progress=progress,
+        )
     failures = result["failures"]
     if args.artifacts and failures:
         import os
@@ -475,8 +516,9 @@ def cmd_check(args, out):
                                 f"repro-seed{artifact['seed']}.json")
             save_artifact(path, artifact)
             print(f"wrote {path}", file=out)
+    mode = "engine-diff " if args.engine_diff else ""
     print(
-        f"{result['runs']} runs from seed {args.seed}: "
+        f"{result['runs']} {mode}runs from seed {args.seed}: "
         f"{result['differential_runs']} differential, "
         f"{len(failures)} failure(s)",
         file=out,

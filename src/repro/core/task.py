@@ -158,12 +158,15 @@ class WorkloadTask(Task):
     def exec_optional(self, ctx, part_index):
         remaining = self.optional
         progress = 0.0
+        chunk = self.chunk
+        tag = f"optional[{part_index}]"
+        publish = ctx.publish
         while remaining > 0:
-            step = min(self.chunk, remaining)
-            yield ctx.compute(step, tag=f"optional[{part_index}]")
+            step = chunk if chunk < remaining else remaining
+            yield Compute(step, tag=tag)
             remaining -= step
             progress += step
-            ctx.publish(part_index, progress)
+            publish(part_index, progress)
 
     def exec_windup(self, ctx):
         yield ctx.compute(self.windup, tag="windup")

@@ -45,12 +45,26 @@ class HardwareThread:
     no SCHED_FIFO thread is computing on the hardware thread.
     """
 
-    __slots__ = ("cpu_id", "core", "background_busy")
+    __slots__ = ("cpu_id", "core", "_background_busy")
 
     def __init__(self, cpu_id, core):
         self.cpu_id = cpu_id
         self.core = core
-        self.background_busy = False
+        self._background_busy = False
+
+    @property
+    def background_busy(self):
+        return self._background_busy
+
+    @background_busy.setter
+    def background_busy(self, value):
+        # mirrored into a per-core flag count so the kernel's occupancy
+        # scan can skip cores with no background load at all (the
+        # dominant configuration) without walking the siblings
+        value = bool(value)
+        if value != self._background_busy:
+            self._background_busy = value
+            self.core.n_background_flagged += 1 if value else -1
 
     def __repr__(self):
         return f"<HardwareThread cpu={self.cpu_id} core={self.core.core_id}>"
@@ -70,7 +84,7 @@ class Core:
     """
 
     __slots__ = ("core_id", "hw_threads", "speed", "share_fn",
-                 "background_weight")
+                 "background_weight", "n_background_flagged")
 
     def __init__(self, core_id, speed, share_fn, background_weight=1.0):
         self.core_id = core_id
@@ -78,6 +92,9 @@ class Core:
         self.speed = speed
         self.share_fn = share_fn
         self.background_weight = background_weight
+        #: how many sibling hardware threads carry ``background_busy``
+        #: (maintained by the :class:`HardwareThread` setter)
+        self.n_background_flagged = 0
 
     def rate_for(self, computing_hw_count, background_hw_count):
         """Throughput (work-ns per sim-ns) for each computing thread.

@@ -25,9 +25,10 @@ whenever no simulated thread occupies them, without generating events.
 
 from collections import deque
 from functools import partial
+from operator import attrgetter
 
+from repro.engine.backend import get_backend
 from repro.engine.classes import get_sched_class
-from repro.engine.events import Engine
 from repro.obs.bus import ProbeBus
 from repro.simkernel.costmodel import ZeroCostModel
 from repro.simkernel.errors import (
@@ -72,6 +73,16 @@ _RESCHED_EVENT_PRIO = 5
 #: the kernel forces a trip through the event queue.
 _MAX_SYNC_STEPS = 100_000
 
+#: Deterministic repricing order for SMT rate sharing.
+_by_tid = attrgetter("tid")
+
+#: Enum members hoisted to module level: the resume/compute cycle tests
+#: thread state on every event, and the attribute chain
+#: ``ThreadState.RUNNING`` costs two dict lookups per test.
+_RUNNING = ThreadState.RUNNING
+_READY = ThreadState.READY
+_FIFO = SchedPolicy.FIFO
+
 
 class Kernel:
     """A simulated machine: topology + event engine + scheduler state.
@@ -91,13 +102,20 @@ class Kernel:
         otherwise and wired into the engine and run queues, so
         observers attach with zero setup and an unobserved run pays one
         boolean test per probe site.
+    :param backend: an :class:`~repro.engine.backend.EngineBackend`
+        (or registry name, or ``None`` for the process default) that
+        supplies the event engine and run-queue structures.  The
+        ``fast`` backend is byte-identical to ``reference`` on seeded
+        runs (``repro check --engine-diff``) but ~2x faster.  Ignored
+        for the engine when an explicit ``engine`` is shared.
     """
 
     def __init__(self, topology, cost_model=None, engine=None,
-                 sched_class=None, probe_bus=None):
+                 sched_class=None, probe_bus=None, backend=None):
         self.topology = topology
+        self.backend = get_backend(backend)
         self.cost_model = cost_model or ZeroCostModel()
-        self.engine = engine or Engine()
+        self.engine = engine or self.backend.make_engine()
         self.probes = probe_bus if probe_bus is not None \
             else ProbeBus(clock=self.engine)
         if self.probes.clock is None:
@@ -107,7 +125,8 @@ class Kernel:
         self.sched_class = get_sched_class(sched_class or "fifo")
         n = topology.n_cpus
         self.runqueues = [
-            self.sched_class.make_queue(cpu) for cpu in range(n)
+            self.sched_class.make_queue(cpu, backend=self.backend)
+            for cpu in range(n)
         ]
         for runqueue in self.runqueues:
             runqueue.probes = self.probes
@@ -121,7 +140,31 @@ class Kernel:
         self.background_resume_time = [float("-inf")] * n
         self._last_running = [None] * n
         self._resched_pending = [False] * n
+        #: per-CPU deferred-schedule callbacks, allocated once — resched
+        #: is the most frequently scheduled event, so the per-request
+        #: ``partial`` allocation is hoisted out of the hot path.
+        self._resched_cbs = [
+            partial(self._do_schedule, cpu) for cpu in range(n)
+        ]
+        #: incrementally maintained count of CPUs running a SCHED_FIFO
+        #: thread (see :attr:`nr_running`); updated at the only three
+        #: places occupancy or policy changes (:meth:`_dispatch`,
+        #: :meth:`_vacate_cpu`, :meth:`_sys_setscheduler`).
+        self._nr_running_fifo = 0
         self._core_computing = [set() for _ in range(topology.n_cores)]
+        #: per-CPU core objects, resolved once — ``topology.core_of``
+        #: is called on every compute start/stop and the indirection
+        #: was a measurable slice of the hot path.
+        self._cpu_core = [topology.core_of(cpu) for cpu in range(n)]
+        #: per-core ``(n_computing, n_background) -> rate`` memo.
+        #: ``Core.rate_for`` is pure in its arguments given a fixed core
+        #: speed, so the memo is exact; :meth:`set_core_speed` (the only
+        #: runtime speed mutation) drops the affected core's entries.
+        self._rate_cache = [{} for _ in range(topology.n_cores)]
+        #: dedicated memo slot for the dominant ``(1, 0)`` case — a lone
+        #: computing thread on a core with no background flags — so the
+        #: per-compute rate lookup is a list index, no tuple key.
+        self._rate1 = [None] * topology.n_cores
         #: (tid, signum) -> post time, for signal-delivery-latency probes
         #: (maintained only while the bus has subscribers).
         self._signal_posted = {}
@@ -153,11 +196,11 @@ class Kernel:
         Cost models use this as dispatch pressure: with hundreds of
         just-woken real-time threads active, scheduler bookkeeping and
         run-queue cache lines are hot and context switches cost more.
+        Maintained incrementally — it is read on every context switch,
+        and an O(n_cpus) scan there dominated dispatch on wide
+        topologies.
         """
-        return sum(
-            1 for thread in self.current
-            if thread is not None and thread.policy is SchedPolicy.FIFO
-        )
+        return self._nr_running_fifo
 
     def spawn(self, thread):
         """Register and start a thread (it becomes READY immediately)."""
@@ -167,6 +210,13 @@ class Kernel:
         thread.tid = self._next_tid
         self._next_tid += 1
         thread.materialize()
+        # Pre-bind the per-thread event callbacks once: completion,
+        # wake-after-latency and sleep-expiry are (re)scheduled on every
+        # job of every thread, and the per-schedule ``partial``
+        # allocations were a measurable slice of the hot path.
+        thread._complete_cb = partial(self._complete_work, thread)
+        thread._ready_cb = partial(self._make_ready, thread)
+        thread._sleep_expire_cb = partial(self._sleep_expire, thread)
         self.threads.append(thread)
         self._emit("spawn", thread)
         self._make_ready(thread)
@@ -237,7 +287,7 @@ class Kernel:
             if thread.is_computing:
                 self._stop_compute(thread)
             self._vacate_cpu(thread.cpu)
-            self._core_changed(self.topology.core_of(thread.cpu))
+            self._core_changed(self._cpu_core[thread.cpu])
             self._request_resched(thread.cpu)
         elif thread.state is ThreadState.READY:
             self._dequeue_ready(thread)
@@ -313,6 +363,8 @@ class Kernel:
             raise SchedulingError(f"core speed must be positive: {speed}")
         core = self.topology.cores[core_id]
         core.speed = speed
+        self._rate_cache[core_id].clear()
+        self._rate1[core_id] = None
         self._recompute_core(core)
 
     # ------------------------------------------------------------------
@@ -337,15 +389,18 @@ class Kernel:
 
     def _vacate_cpu(self, cpu):
         """Mark a CPU free of simulated threads (background resumes)."""
+        thread = self.current[cpu]
+        if thread is not None and thread.policy is _FIFO:
+            self._nr_running_fifo -= 1
         self.current[cpu] = None
         self.background_resume_time[cpu] = self.engine.now
 
     def _make_ready(self, thread, at_head=False):
         if not thread.alive:
             return
-        thread.state = ThreadState.READY
+        thread.state = _READY
         thread.blocked_on = None
-        if thread.policy is SchedPolicy.FIFO:
+        if thread.policy is _FIFO:
             self.sched_class.enqueue(
                 self.runqueues[thread.cpu], thread, at_head=at_head
             )
@@ -359,7 +414,7 @@ class Kernel:
         self._request_resched(thread.cpu)
 
     def _dequeue_ready(self, thread):
-        if thread.policy is SchedPolicy.FIFO:
+        if thread.policy is _FIFO:
             self.sched_class.dequeue(self.runqueues[thread.cpu], thread)
         else:
             self.other_queues[thread.cpu].remove(thread)
@@ -370,7 +425,7 @@ class Kernel:
         self._resched_pending[cpu] = True
         self.engine.schedule_at(
             self.engine.now,
-            partial(self._do_schedule, cpu),
+            self._resched_cbs[cpu],
             priority=_RESCHED_EVENT_PRIO,
         )
 
@@ -392,17 +447,17 @@ class Kernel:
         thread = self.current[cpu]
         if thread.is_computing:
             self._stop_compute(thread)
-        thread.state = ThreadState.READY
+        thread.state = _READY
         thread.preemptions += 1
         self._vacate_cpu(cpu)
-        if thread.policy is SchedPolicy.FIFO:
+        if thread.policy is _FIFO:
             # SCHED_FIFO: a preempted thread returns to the *head* of its
             # priority level so it resumes before equal-priority peers.
             self.sched_class.enqueue(self.runqueues[cpu], thread,
                                      at_head=True)
         else:
             self.other_queues[cpu].appendleft(thread)
-        self._core_changed(self.topology.core_of(cpu))
+        self._core_changed(self._cpu_core[cpu])
         self._emit("preempt", thread)
 
     def _dispatch(self, cpu):
@@ -412,14 +467,16 @@ class Kernel:
                 thread = self.other_queues[cpu].popleft()
             else:
                 return
-        thread.state = ThreadState.RUNNING
+        thread.state = _RUNNING
         self.current[cpu] = thread
+        if thread.policy is _FIFO:
+            self._nr_running_fifo += 1
         thread.dispatches += 1
         switch_cost = self.cost_model.context_switch(
             cpu, self._last_running[cpu], thread, self
         )
         self._last_running[cpu] = thread
-        self._core_changed(self.topology.core_of(cpu))
+        self._core_changed(self._cpu_core[cpu])
         self._emit("dispatch", thread)
         if switch_cost > 0:
             thread.latency_remaining += switch_cost
@@ -437,22 +494,52 @@ class Kernel:
         elapsed = now - thread.last_charge
         if elapsed > 0:
             # latency burns first, at wall rate (SMT-immune)
-            latency_spent = min(elapsed, thread.latency_remaining)
-            thread.latency_remaining -= latency_spent
-            remainder = elapsed - latency_spent
-            if remainder > 0 and thread.rate > 0:
-                thread.work_remaining = max(
-                    0.0, thread.work_remaining - remainder * thread.rate
-                )
+            latency = thread.latency_remaining
+            if elapsed < latency:
+                thread.latency_remaining = latency - elapsed
+            else:
+                thread.latency_remaining = 0.0
+                remainder = elapsed - latency
+                if remainder > 0 and thread.rate > 0:
+                    left = thread.work_remaining \
+                        - remainder * thread.rate
+                    thread.work_remaining = left if left > 0.0 else 0.0
             thread.cpu_time += elapsed
         thread.last_charge = now
 
     def _start_compute(self, thread):
-        core = self.topology.core_of(thread.cpu)
+        core = self._cpu_core[thread.cpu]
         computing = self._core_computing[core.core_id]
-        thread.last_charge = self.engine.now
+        engine = self.engine
+        now = engine.now
+        thread.last_charge = now
         computing.add(thread)
-        self._recompute_core(core)
+        if len(computing) > 1:
+            self._recompute_core(core)
+            return
+        # lone computing thread (the common case without SMT sharing):
+        # the generic repricing loop collapses to charging *this* thread
+        # (elapsed is zero — last_charge was just stamped) and pricing
+        # its completion, so inline it
+        if not core.n_background_flagged:
+            cid = core.core_id
+            rate = self._rate1[cid]
+            if rate is None:
+                rate = self._rate1[cid] = core.rate_for(1, 0)
+        else:
+            key = (1, self._background_count(core))
+            cache = self._rate_cache[core.core_id]
+            rate = cache.get(key)
+            if rate is None:
+                rate = cache[key] = core.rate_for(*key)
+        thread.rate = rate
+        if thread.completion_event is not None:
+            engine.cancel(thread.completion_event)
+        finish = (now + thread.latency_remaining
+                  + thread.work_remaining / rate)
+        thread.completion_event = engine.schedule_at(
+            finish, thread._complete_cb
+        )
 
     def _stop_compute(self, thread):
         if thread.completion_event is not None:
@@ -460,9 +547,11 @@ class Kernel:
             thread.completion_event = None
         self._charge(thread)
         thread.rate = 0.0
-        core = self.topology.core_of(thread.cpu)
-        self._core_computing[core.core_id].discard(thread)
-        self._recompute_core(core)
+        core = self._cpu_core[thread.cpu]
+        computing = self._core_computing[core.core_id]
+        computing.discard(thread)
+        if computing:
+            self._recompute_core(core)
 
     def _core_changed(self, core):
         """Occupancy (running / background-visible) changed on ``core``."""
@@ -470,9 +559,12 @@ class Kernel:
             self._recompute_core(core)
 
     def _background_count(self, core):
+        if not core.n_background_flagged:
+            return 0
         count = 0
+        current = self.current
         for hw_thread in core.hw_threads:
-            if hw_thread.background_busy and self.current[hw_thread.cpu_id] is None:
+            if hw_thread._background_busy and current[hw_thread.cpu_id] is None:
                 count += 1
         return count
 
@@ -480,28 +572,58 @@ class Kernel:
         computing = self._core_computing[core.core_id]
         if not computing:
             return
-        now = self.engine.now
-        rate = core.rate_for(len(computing), self._background_count(core))
-        for thread in sorted(computing, key=lambda t: t.tid):
-            self._charge(thread)
+        engine = self.engine
+        now = engine.now
+        key = (len(computing), self._background_count(core))
+        cache = self._rate_cache[core.core_id]
+        rate = cache.get(key)
+        if rate is None:
+            rate = cache[key] = core.rate_for(*key)
+        # tid order keeps repricing deterministic; a one-element set (the
+        # overwhelmingly common case without SMT sharing) needs no sort
+        threads = computing if len(computing) == 1 \
+            else sorted(computing, key=_by_tid)
+        for thread in threads:
+            elapsed = now - thread.last_charge
+            if elapsed > 0:
+                latency = thread.latency_remaining
+                if elapsed < latency:
+                    thread.latency_remaining = latency - elapsed
+                else:
+                    thread.latency_remaining = 0.0
+                    remainder = elapsed - latency
+                    if remainder > 0 and thread.rate > 0:
+                        left = thread.work_remaining \
+                            - remainder * thread.rate
+                        thread.work_remaining = left if left > 0.0 else 0.0
+                thread.cpu_time += elapsed
+            thread.last_charge = now
             thread.rate = rate
             if thread.completion_event is not None:
-                self.engine.cancel(thread.completion_event)
+                engine.cancel(thread.completion_event)
             finish = (now + thread.latency_remaining
                       + thread.work_remaining / rate)
-            thread.completion_event = self.engine.schedule_at(
-                finish, partial(self._complete_work, thread)
+            thread.completion_event = engine.schedule_at(
+                finish, thread._complete_cb
             )
 
     def _complete_work(self, thread):
         thread.completion_event = None
-        self._charge(thread)
+        # charge, inlined: work/latency are zeroed next, so only the
+        # cpu_time accumulation and last_charge stamp survive
+        now = self.engine.now
+        elapsed = now - thread.last_charge
+        if elapsed > 0:
+            thread.cpu_time += elapsed
+        thread.last_charge = now
         thread.work_remaining = 0.0
         thread.latency_remaining = 0.0
         thread.rate = 0.0
-        core = self.topology.core_of(thread.cpu)
-        self._core_computing[core.core_id].discard(thread)
-        self._recompute_core(core)
+        core = self._cpu_core[thread.cpu]
+        computing = self._core_computing[core.core_id]
+        computing.discard(thread)
+        if computing:
+            self._recompute_core(core)
         self._resume(thread)
 
     # ------------------------------------------------------------------
@@ -511,12 +633,14 @@ class Kernel:
     def _resume(self, thread):
         """Advance a RUNNING thread's coroutine until it blocks/computes."""
         steps = 0
+        current = self.current
         while (
-            thread.state is ThreadState.RUNNING
-            and self.current[thread.cpu] is thread
+            thread.state is _RUNNING
+            and current[thread.cpu] is thread
         ):
-            self._deliver_pending(thread)
-            if thread.has_pending_execution:
+            if thread.pending_signals:
+                self._deliver_pending(thread)
+            if thread.work_remaining > 0 or thread.latency_remaining > 0:
                 self._start_compute(thread)
                 return
             steps += 1
@@ -552,7 +676,7 @@ class Kernel:
         if self.current[cpu] is thread:
             self._vacate_cpu(cpu)
         self._detach_from_wait_objects(thread)
-        self._core_changed(self.topology.core_of(cpu))
+        self._core_changed(self._cpu_core[cpu])
         self._request_resched(cpu)
         self._emit("thread_exit", thread)
 
@@ -562,7 +686,7 @@ class Kernel:
         thread.blocked_on = blocked_on
         if self.current[cpu] is thread:
             self._vacate_cpu(cpu)
-        self._core_changed(self.topology.core_of(cpu))
+        self._core_changed(self._cpu_core[cpu])
         self._request_resched(cpu)
         self._emit("block", thread)
 
@@ -573,11 +697,12 @@ class Kernel:
             thread.latency_remaining += cost
             self._start_compute(thread)
             return False  # loop exits; completion event resumes
-        return self._still_running(thread)
+        return (thread.state is _RUNNING
+                and self.current[thread.cpu] is thread)
 
     def _still_running(self, thread):
         return (
-            thread.state is ThreadState.RUNNING
+            thread.state is _RUNNING
             and self.current[thread.cpu] is thread
         )
 
@@ -586,15 +711,71 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def _handle_syscall(self, thread, request):
-        """Apply ``request``.  Returns True iff the resume loop continues."""
-        if isinstance(request, Compute):
+        """Apply ``request``.  Returns True iff the resume loop continues.
+
+        Dispatch is a ``type(request)`` dict lookup (the syscall types
+        are leaf classes in practice); unknown exact types — e.g. a test
+        subclassing a syscall — fall back to the isinstance chain in
+        :meth:`_handle_syscall_generic`.  Both paths price the request
+        through ``cost_model.syscall`` at the same point, so the noise
+        stream is consumed in the same order whichever path runs.
+        """
+        rtype = type(request)
+        if rtype is Compute:
             thread.work_remaining += request.work
-            if thread.has_pending_execution:
-                thread.resume_value = None
+            thread.resume_value = None
+            if thread.work_remaining > 0 or thread.latency_remaining > 0:
                 self._start_compute(thread)
                 return False
+            return (thread.state is _RUNNING
+                    and self.current[thread.cpu] is thread)
+        handler = _SYSCALL_HANDLERS.get(rtype)
+        if handler is not None:
+            # bound lookup by name (not a stored function) so class-level
+            # monkeypatching — the mutation-smoke tests plant bugs that
+            # way — still takes effect
+            return getattr(self, handler)(
+                thread, request,
+                self.cost_model.syscall(request, thread, self),
+            )
+        return self._handle_syscall_generic(thread, request)
+
+    def _sys_get_time(self, thread, request, cost):
+        return self._charge_syscall_cost(thread, cost, self.engine.now)
+
+    def _sys_get_cpu(self, thread, request, cost):
+        return self._charge_syscall_cost(thread, cost, thread.cpu)
+
+    def _sys_cond_wait_costed(self, thread, request, cost):
+        # CondWait is priced like every syscall (the draw keeps the noise
+        # stream aligned) but the cost lands on the wake-up path instead
+        return self._sys_cond_wait(thread, request)
+
+    def _sys_sigaction(self, thread, request, cost):
+        thread.signal_handlers[request.signum] = request.disposition
+        return self._charge_syscall_cost(thread, cost)
+
+    def _sys_sched_yield_costed(self, thread, request, cost):
+        return self._sys_sched_yield(thread, cost)
+
+    def _sys_spawn(self, thread, request, cost):
+        self.spawn(request.thread)
+        return self._charge_syscall_cost(thread, cost, request.thread)
+
+    def _sys_exit(self, thread, request, cost):
+        self._exit_thread(thread)
+        return False
+
+    def _handle_syscall_generic(self, thread, request):
+        """isinstance-chain fallback for syscall subclasses."""
+        if isinstance(request, Compute):
+            thread.work_remaining += request.work
             thread.resume_value = None
-            return self._still_running(thread)
+            if thread.work_remaining > 0 or thread.latency_remaining > 0:
+                self._start_compute(thread)
+                return False
+            return (thread.state is _RUNNING
+                    and self.current[thread.cpu] is thread)
 
         base_cost = self.cost_model.syscall(request, thread, self)
 
@@ -659,7 +840,7 @@ class Kernel:
         thread.resume_value = None
         self._block(thread, ("sleep", request.until))
         thread.sleep_event = self.engine.schedule_at(
-            request.until, partial(self._sleep_expire, thread)
+            request.until, thread._sleep_expire_cb
         )
         return False
 
@@ -670,7 +851,7 @@ class Kernel:
         self._emit("sleep_expire", thread)
         latency = self.cost_model.wakeup_latency(thread, self, kind="sleep")
         if latency > 0:
-            self.engine.schedule_after(latency, partial(self._make_ready, thread))
+            self.engine.schedule_after(latency, thread._ready_cb)
         else:
             self._make_ready(thread)
 
@@ -722,7 +903,7 @@ class Kernel:
     def _wake_after_latency(self, thread):
         latency = self.cost_model.wakeup_latency(thread, self, kind="sync")
         if latency > 0:
-            self.engine.schedule_after(latency, partial(self._make_ready, thread))
+            self.engine.schedule_after(latency, thread._ready_cb)
         else:
             self._make_ready(thread)
 
@@ -820,9 +1001,11 @@ class Kernel:
                               self.engine.now)
             timer.expires_at = expires
             timer.arm_count += 1
-            timer.event = self.engine.schedule_at(
-                expires, partial(self._timer_expire, timer)
-            )
+            expire_cb = timer._expire_cb
+            if expire_cb is None:
+                expire_cb = timer._expire_cb = \
+                    partial(self._timer_expire, timer)
+            timer.event = self.engine.schedule_at(expires, expire_cb)
             if self.probes.active:
                 self._emit("timer_arm", thread, timer=timer.name,
                            at=expires)
@@ -847,7 +1030,13 @@ class Kernel:
 
     def _sys_setscheduler(self, thread, request, cost):
         old_prio = thread.priority
+        was_fifo = thread.policy is SchedPolicy.FIFO
         thread.policy = request.policy
+        if self.current[thread.cpu] is thread:
+            # keep the incremental nr_running count honest across a
+            # policy change of a RUNNING thread
+            is_fifo = request.policy is SchedPolicy.FIFO
+            self._nr_running_fifo += int(is_fifo) - int(was_fifo)
         if request.policy is SchedPolicy.FIFO:
             min_prio = getattr(self.sched_class, "min_prio", 1)
             max_prio = getattr(self.sched_class, "max_prio", 99)
@@ -883,7 +1072,7 @@ class Kernel:
                 thread.latency_remaining += cost
             self._vacate_cpu(old_cpu)
             target.cpu = request.cpu
-            self._core_changed(self.topology.core_of(old_cpu))
+            self._core_changed(self._cpu_core[old_cpu])
             self._request_resched(old_cpu)
             self._make_ready(target)
             return False
@@ -904,7 +1093,7 @@ class Kernel:
                                      at_head=False)
         else:
             self.other_queues[cpu].append(thread)
-        self._core_changed(self.topology.core_of(cpu))
+        self._core_changed(self._cpu_core[cpu])
         self._emit("yield", thread)
         self._request_resched(cpu)
         return False
@@ -975,7 +1164,7 @@ class Kernel:
             thread.work_remaining = 0.0
             thread.latency_remaining = cost
             thread.resume_exception = exception
-            core = self.topology.core_of(thread.cpu)
+            core = self._cpu_core[thread.cpu]
             self._recompute_core(core)
             return
 
@@ -1008,3 +1197,27 @@ class Kernel:
                     waiters.remove(entry)
                     break
         thread.blocked_on = None
+
+
+#: exact-type syscall dispatch (see :meth:`Kernel._handle_syscall`);
+#: maps each syscall type to the *name* of a ``Kernel`` method taking
+#: ``(thread, request, base_cost)`` with ``base_cost`` already drawn
+#: from the cost model.
+_SYSCALL_HANDLERS = {
+    GetTime: "_sys_get_time",
+    GetCpu: "_sys_get_cpu",
+    ClockNanosleep: "_sys_clock_nanosleep",
+    CondWait: "_sys_cond_wait_costed",
+    CondSignal: "_sys_cond_signal",
+    CondBroadcast: "_sys_cond_broadcast",
+    MutexLock: "_sys_mutex_lock",
+    MutexUnlock: "_sys_mutex_unlock",
+    TimerSettime: "_sys_timer_settime",
+    Sigaction: "_sys_sigaction",
+    SetSignalMask: "_sys_set_signal_mask",
+    SchedSetScheduler: "_sys_setscheduler",
+    SchedSetAffinity: "_sys_setaffinity",
+    SchedYield: "_sys_sched_yield_costed",
+    Spawn: "_sys_spawn",
+    Exit: "_sys_exit",
+}

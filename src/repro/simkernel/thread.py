@@ -81,6 +81,13 @@ class KernelThread:
         self.blocked_on = None
         #: wake-up event for ClockNanosleep.
         self.sleep_event = None
+        #: per-thread event callbacks, pre-bound once by
+        #: :meth:`Kernel.spawn` — completion, wake and sleep-expiry
+        #: events are (re)scheduled constantly, and binding at spawn
+        #: hoists the ``partial`` allocation out of the hot path.
+        self._complete_cb = None
+        self._ready_cb = None
+        self._sleep_expire_cb = None
 
         # --- signal state --------------------------------------------------
         #: signum -> disposition (callable, UnwindDisposition, SIG_IGN, ...).

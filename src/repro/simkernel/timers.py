@@ -37,6 +37,9 @@ class KTimer:
         self.last_expired_at = None
         #: True once deleted; further operations raise.
         self.deleted = False
+        #: expiry callback pre-bound by the kernel at first arm (timers
+        #: are re-armed every job; the binding is reused).
+        self._expire_cb = None
 
     @property
     def armed(self):

@@ -306,6 +306,8 @@ class RealTimeTradingSystem:
         :class:`~repro.core.resilience.OverrunWatchdog`.
     :param degrade: optional
         :class:`~repro.core.resilience.DegradedModeController`.
+    :param engine: execution-core backend (``"reference"`` /
+        ``"fast"`` / ``None`` for the process default).
     """
 
     def __init__(self, n_seconds=60, seed=0, analyzers=None,
@@ -313,7 +315,7 @@ class RealTimeTradingSystem:
                  topology=None, cost_model="xeonphi", strategy=None,
                  optional_deadline=None, history_length=120,
                  network=None, retry_policy=None, watchdog=None,
-                 degrade=None):
+                 degrade=None, engine=None):
         self.feed = MarketFeed(seed=seed)
         self.broker = SimBroker()
         self.analyzers = analyzers or default_analyzers(seed)
@@ -329,7 +331,8 @@ class RealTimeTradingSystem:
         )
         self.middleware = RTSeed(topology=topology, load=load,
                                  cost_model=cost_model, seed=seed,
-                                 watchdog=watchdog, degrade=degrade)
+                                 watchdog=watchdog, degrade=degrade,
+                                 engine=engine)
         self.task.probes = self.middleware.probes
         self.middleware.add_task(
             self.task,

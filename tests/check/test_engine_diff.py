@@ -1,0 +1,82 @@
+"""The fast-vs-reference engine differential (``--engine-diff``).
+
+Unlike the theory-oracle differential, this one runs the *same*
+middleware stack on both backends — noisy Xeon Phi cost model, fault
+plans allowed — and demands byte-identical probe streams.  Tested here:
+clean equivalence on fault-free and hardware-faulted scenarios
+(``core_throttle`` exercises mid-run repricing, ``cpu_stall`` the
+post-draw multiplier), an actual detection (a planted fast-path skew
+must be flagged as ``engine_mismatch``), and the fuzz loop's counting.
+"""
+
+import pytest
+
+from repro.check import (
+    ENGINE_DIFF_FAULT_SITE_MENU,
+    fuzz_engine_diff,
+    run_engine_diff,
+)
+from repro.check.scenario import generate_scenario
+
+pytestmark = pytest.mark.tier1
+
+
+def test_fault_free_scenarios_are_equivalent():
+    for seed in range(3):
+        scenario = generate_scenario(seed)
+        report = run_engine_diff(scenario)
+        assert report.differential_ran
+        assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("site", ["core_throttle", "cpu_stall"])
+def test_hardware_faulted_scenarios_are_equivalent(site):
+    assert site in ENGINE_DIFF_FAULT_SITE_MENU
+    checked = 0
+    for seed in range(20):
+        scenario = generate_scenario(seed, fault_rate=1.0,
+                                     fault_sites=(site,))
+        if not scenario.has_faults:
+            continue
+        report = run_engine_diff(scenario)
+        assert report.ok, f"seed {seed}: {report.summary()}"
+        checked += 1
+        if checked == 2:
+            break
+    assert checked == 2, f"no {site} plan drawn in 20 seeds"
+
+
+def test_planted_fast_path_skew_is_detected(monkeypatch):
+    """Corrupt the batched noise stream (fast backend only) by half an
+    ulp's worth of relative skew: the differential must flag it."""
+    from repro.hardware.noise import BatchedLognormalStream
+
+    original = BatchedLognormalStream.next
+
+    def skewed(self):
+        return original(self) * 1.0001
+
+    monkeypatch.setattr(BatchedLognormalStream, "next", skewed)
+    report = run_engine_diff(generate_scenario(0))
+    assert not report.ok
+    assert report.divergences
+    assert all(d["kind"] == "engine_mismatch"
+               for d in report.divergences)
+
+
+def test_fuzz_engine_diff_counts_and_artifacts(monkeypatch):
+    result = fuzz_engine_diff(3, seed=0, fault_rate=0.0)
+    assert result["runs"] == 3
+    assert result["differential_runs"] == 3
+    assert result["failures"] == []
+
+    from repro.hardware.noise import BatchedLognormalStream
+
+    original = BatchedLognormalStream.next
+    monkeypatch.setattr(BatchedLognormalStream, "next",
+                        lambda self: original(self) * 1.0001)
+    result = fuzz_engine_diff(3, seed=0, fault_rate=0.0,
+                              max_failures=1)
+    assert result["failures"]
+    artifact = result["failures"][0]
+    assert "engine_mismatch" in artifact["failure_kinds"]

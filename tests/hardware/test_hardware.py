@@ -174,6 +174,9 @@ def test_dispatch_pressure_scales_with_running_threads():
     for cpu in range(100):
         thread = KernelThread(f"t{cpu}", body, cpu=cpu, priority=50)
         kernel.current[cpu] = thread
+        # nr_running is maintained incrementally by dispatch/vacate;
+        # faking occupancy directly must bump the counter too
+        kernel._nr_running_fifo += 1
     busy_cost = model.context_switch(0, None, object(), kernel)
     costs = DEFAULT_COSTS[BackgroundLoad.NONE]
     assert busy_cost - idle_cost == pytest.approx(
