@@ -16,6 +16,10 @@ JSON blob suitable for committing as ``BENCH_engine.json``:
   probe bus — the ``bus.active`` guard must cost ~nothing), with a
   tracer + metrics + Chrome exporter subscribed, and the idle-bus
   regression vs. the unobserved baseline in percent.
+* ``flightrec_overhead`` — the fig10 workload with a *passive* flight
+  recorder attached to an otherwise idle bus: the recorder must not
+  flip ``bus.active``, so this configuration must match the unobserved
+  rate (the always-on acceptance criterion).
 
 Usage::
 
@@ -128,6 +132,38 @@ def bench_obs_overhead(engine=None):
         ),
         "trace_events": len(subscribed["exporter"].events),
         "probe_events": subscribed["tracer"]._bus.published,
+    }
+
+
+def bench_flightrec_overhead(engine=None):
+    """Flight-recorder cost on fig10 with an otherwise idle bus.
+
+    The recorder subscribes passively, so ``bus.active`` stays false
+    and the probe sites keep skipping payload construction — this
+    configuration must run at the unobserved rate (within noise).
+    """
+    from repro.obs import FlightRecorder
+
+    recorders = {}
+
+    def attach(kernel):
+        recorders["flight"] = FlightRecorder.attach(kernel, seed=0)
+
+    # interleave: idle, recorder, idle (fair to CPU-frequency drift)
+    idle_a = bench_fig10(engine=engine)
+    recorded = bench_fig10(observers=attach, engine=engine)
+    idle_b = bench_fig10(engine=engine)
+
+    idle_rate = (idle_a[0] + idle_b[0]) / (idle_a[1] + idle_b[1])
+    recorded_rate = recorded[0] / recorded[1]
+    return {
+        "idle_events_per_sec": round(idle_rate, 1),
+        "flightrec_events_per_sec": round(recorded_rate, 1),
+        "flightrec_slowdown_pct": round(
+            (idle_rate / recorded_rate - 1.0) * 100.0, 1
+        ),
+        "bus_activated": recorders["flight"]._bus.active,
+        "events_recorded": recorders["flight"].recorded,
     }
 
 
@@ -261,6 +297,7 @@ def main(argv=None):
     ablation_sets, ablation_secs = bench_ablation()
     sim_jobs, sim_secs = bench_simulator()
     obs_overhead = bench_obs_overhead(engine=args.engine)
+    flightrec_overhead = bench_flightrec_overhead(engine=args.engine)
 
     report = {
         "label": args.label,
@@ -281,6 +318,7 @@ def main(argv=None):
             "jobs_per_sec": round(sim_jobs / sim_secs, 1),
         },
         "obs_overhead": obs_overhead,
+        "flightrec_overhead": flightrec_overhead,
     }
     json.dump(report, sys.stdout, indent=2)
     print()

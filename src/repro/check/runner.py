@@ -19,6 +19,8 @@ from repro.check.oracles import (
 from repro.check.scenario import CheckTask, Scenario
 from repro.core.middleware import RTSeed
 from repro.faults.injectors import FaultInjector
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.profile import NullProfile
 from repro.model.task_model import TaskSet
 from repro.sched.simulator import ScheduleSimulator
 from repro.simkernel.cpu import Topology, uniform_share
@@ -39,6 +41,10 @@ class CheckReport:
         self.violations = []
         self.crash = None
         self.differential_ran = False
+        #: flight-recorder snapshot(s) captured at the failure edge
+        #: (``None`` on a clean run); rides into the
+        #: ``repro-check-repro/1`` artifact via :meth:`to_dict`.
+        self.flight = None
 
     @property
     def ok(self):
@@ -61,6 +67,7 @@ class CheckReport:
             "divergences": self.divergences,
             "violations": self.violations,
             "crash": self.crash,
+            "flight": self.flight,
         }
 
     def summary(self):
@@ -112,6 +119,10 @@ def run_middleware(scenario, collect_kernel_events=True, engine=None,
                                                  dict(data))),
         topics=topics,
     )
+    # passive flight recorder: free while the bus is idle, and the
+    # subscriber above activates the bus anyway — on failure its ring
+    # is attached into the check artifact
+    FlightRecorder.attach(middleware.kernel, seed=scenario.seed)
 
     for spec in scenario.tasks:
         middleware.add_task(
@@ -168,38 +179,54 @@ def run_simulator(scenario):
     return events, result
 
 
-def run_scenario(scenario, collect_kernel_events=True):
+def run_scenario(scenario, collect_kernel_events=True, profile=None):
     """Full verdict for one scenario: oracles always, differential when
-    fault-free."""
+    fault-free.
+
+    :param profile: optional
+        :class:`~repro.obs.profile.WallClockProfile` — phases are timed
+        under ``check.middleware`` / ``check.oracles`` /
+        ``check.simulator`` / ``check.compare`` sections.
+    """
     if isinstance(scenario, dict):
         scenario = Scenario.from_dict(scenario)
+    if profile is None:
+        profile = NullProfile()
     report = CheckReport(scenario)
 
-    mw_events, kernel, crash = run_middleware(
-        scenario, collect_kernel_events=collect_kernel_events,
-    )
-    report.crash = crash
-    if collect_kernel_events:
-        report.violations.extend(
-            check_kernel_trace(mw_events, scenario.n_cpus)
+    with profile.section("check.middleware"):
+        mw_events, kernel, crash = run_middleware(
+            scenario, collect_kernel_events=collect_kernel_events,
         )
-    report.violations.extend(check_protocol(mw_events, scenario))
-    report.violations.extend(check_final_state(kernel))
+    report.crash = crash
+    with profile.section("check.oracles"):
+        if collect_kernel_events:
+            report.violations.extend(
+                check_kernel_trace(mw_events, scenario.n_cpus)
+            )
+        report.violations.extend(check_protocol(mw_events, scenario))
+        report.violations.extend(check_final_state(kernel))
 
     if not scenario.has_faults and crash is None:
-        sim_events, _result = run_simulator(scenario)
-        report.divergences.extend(
-            compare_traces(
-                normalize_simulator(sim_events, scenario),
-                normalize_middleware(mw_events, scenario),
-                scenario,
+        with profile.section("check.simulator"):
+            sim_events, _result = run_simulator(scenario)
+        with profile.section("check.compare"):
+            report.divergences.extend(
+                compare_traces(
+                    normalize_simulator(sim_events, scenario),
+                    normalize_middleware(mw_events, scenario),
+                    scenario,
+                )
             )
-        )
         report.differential_ran = True
+    if not report.ok:
+        flight = getattr(kernel.probes, "flight", None)
+        if flight is not None:
+            report.flight = flight.snapshot("check_failure")
     return report
 
 
-def run_engine_diff(scenario, noise_seed=None):
+def run_engine_diff(scenario, noise_seed=None, profile=None):
     """Lockstep fast-vs-reference differential for one scenario.
 
     Runs the identical middleware stack once per engine backend — with
@@ -211,21 +238,31 @@ def run_engine_diff(scenario, noise_seed=None):
     and ``cpu_stall`` cost multipliers) are allowed: both runs replay
     the same deterministic plan.
 
+    On divergence, both kernels' flight-recorder rings are snapshotted
+    into ``report.flight`` (keys ``reference`` / ``fast``) so the
+    artifact shows what each backend saw near the split.
+
+    :param profile: optional
+        :class:`~repro.obs.profile.WallClockProfile` — each backend run
+        is timed under ``check.engine_diff.<backend>``.
     :returns: a :class:`CheckReport` whose divergences have kind
         ``engine_mismatch``.
     """
     if isinstance(scenario, dict):
         scenario = Scenario.from_dict(scenario)
+    if profile is None:
+        profile = NullProfile()
     report = CheckReport(scenario)
     if noise_seed is None:
         noise_seed = scenario.seed
 
     sides = {}
     for engine in ("reference", "fast"):
-        sides[engine] = run_middleware(
-            scenario, engine=engine, cost_model="xeonphi",
-            noise_seed=noise_seed,
-        )
+        with profile.section(f"check.engine_diff.{engine}"):
+            sides[engine] = run_middleware(
+                scenario, engine=engine, cost_model="xeonphi",
+                noise_seed=noise_seed,
+            )
     ref_events, ref_kernel, ref_crash = sides["reference"]
     fast_events, fast_kernel, fast_crash = sides["fast"]
     report.differential_ran = True
@@ -235,9 +272,22 @@ def run_engine_diff(scenario, noise_seed=None):
             {"kind": "engine_mismatch", "detail": detail}
         )
 
+    def attach_flight():
+        snapshots = {}
+        for side, kernel in (("reference", ref_kernel),
+                             ("fast", fast_kernel)):
+            flight = getattr(kernel.probes, "flight", None)
+            if flight is not None:
+                snapshots[side] = flight.snapshot(
+                    "engine_diff_divergence"
+                )
+        if snapshots:
+            report.flight = snapshots
+
     if ref_crash != fast_crash:
         mismatch(f"crash divergence: reference={ref_crash!r} "
                  f"fast={fast_crash!r}")
+        attach_flight()
         return report
     report.crash = None  # an *identical* crash is still equivalence
 
@@ -258,11 +308,13 @@ def run_engine_diff(scenario, noise_seed=None):
         mismatch(f"events_processed divergence: reference="
                  f"{ref_kernel.engine.events_processed} "
                  f"fast={fast_kernel.engine.events_processed}")
+    if not report.ok:
+        attach_flight()
     return report
 
 
 def fuzz_engine_diff(n_runs, seed=0, fault_rate=0.25, max_failures=5,
-                     on_progress=None):
+                     on_progress=None, profile=None):
     """Run ``n_runs`` generated scenarios through the engine
     differential (:func:`run_engine_diff`).
 
@@ -286,7 +338,7 @@ def fuzz_engine_diff(n_runs, seed=0, fault_rate=0.25, max_failures=5,
             fault_sites=ENGINE_DIFF_FAULT_SITE_MENU,
         )
         try:
-            report = run_engine_diff(scenario)
+            report = run_engine_diff(scenario, profile=profile)
         except Exception as error:  # checker bug — report, don't hide
             report = CheckReport(scenario)
             report.crash = f"checker error {type(error).__name__}: {error}"
@@ -307,26 +359,31 @@ def fuzz_engine_diff(n_runs, seed=0, fault_rate=0.25, max_failures=5,
 
 
 def fuzz(n_runs, seed=0, fault_rate=0.0, shrink=True, max_failures=5,
-         on_progress=None):
+         on_progress=None, profile=None):
     """Run ``n_runs`` generated scenarios starting at ``seed``.
 
     :param shrink: minimize each failing scenario and attach a repro
         artifact (:func:`repro.check.shrink.make_artifact`).
     :param max_failures: stop early after this many failures.
     :param on_progress: optional ``f(seed, report)`` callback.
+    :param profile: optional
+        :class:`~repro.obs.profile.WallClockProfile` shared by every
+        run (``check.*`` sections; shrinking adds ``check.shrink``).
     :returns: dict with ``runs``, ``failures`` (list of artifacts) and
         ``differential_runs`` counts.
     """
     from repro.check.scenario import generate_scenario
     from repro.check.shrink import make_artifact, shrink_report
 
+    if profile is None:
+        profile = NullProfile()
     failures = []
     differential_runs = 0
     runs = 0
     for current in range(seed, seed + n_runs):
         scenario = generate_scenario(current, fault_rate=fault_rate)
         try:
-            report = run_scenario(scenario)
+            report = run_scenario(scenario, profile=profile)
         except Exception as error:  # checker bug — report, don't hide
             report = CheckReport(scenario)
             report.crash = f"checker error {type(error).__name__}: {error}"
@@ -335,7 +392,8 @@ def fuzz(n_runs, seed=0, fault_rate=0.0, shrink=True, max_failures=5,
         if not report.ok:
             shrink_runs = 0
             if shrink:
-                scenario, shrink_runs = shrink_report(report)
+                with profile.section("check.shrink"):
+                    scenario, shrink_runs = shrink_report(report)
             failures.append(make_artifact(scenario, report,
                                           shrink_runs=shrink_runs))
         if on_progress is not None:

@@ -27,6 +27,12 @@ Commands
     Run a workload with the metrics collector attached and print the
     simulated-time metrics snapshot (counters + latency quantiles).
 
+``report``
+    Run a workload with every telemetry source attached (scheduler
+    metrics, engine/queue counters, wall-clock profile) and emit one
+    unified JSON run report (``rtseed-run-report/1``), consumable by
+    ``tools/bench_report.py``.
+
 ``faults``
     Run seeded fault-injection scenarios against the trading system and
     emit a deterministic JSON resilience report.
@@ -124,6 +130,10 @@ def _add_trace_parser(subparsers):
     parser.add_argument("--jsonl", default=None,
                         help="also stream every probe event to this "
                              "JSONL file")
+    parser.add_argument("--flight-dump", default=None, metavar="PATH",
+                        help="also dump the flight-recorder ring (last "
+                             "512 probe events + kernel state) to this "
+                             "JSONL file after the run")
 
 
 def _add_metrics_parser(subparsers):
@@ -131,8 +141,23 @@ def _add_metrics_parser(subparsers):
         "metrics", help="collect simulated-time metrics for a workload"
     )
     _add_workload_arguments(parser)
+    parser.add_argument("--format", default=None,
+                        choices=["json", "table"],
+                        help="output format (default: table)")
     parser.add_argument("--json", action="store_true",
-                        help="print the raw snapshot as JSON")
+                        help="shorthand for --format json")
+
+
+def _add_report_parser(subparsers):
+    parser = subparsers.add_parser(
+        "report", help="emit a unified JSON run report for a workload"
+    )
+    _add_workload_arguments(parser)
+    parser.add_argument("--out", default=None,
+                        help="write the report here instead of stdout")
+    parser.add_argument("--no-wallclock", action="store_true",
+                        help="omit the wall-clock profile section "
+                             "(byte-deterministic report)")
 
 
 def _add_faults_parser(subparsers):
@@ -150,6 +175,11 @@ def _add_faults_parser(subparsers):
                              "stdout")
     parser.add_argument("--list", action="store_true",
                         help="list the canned scenarios and exit")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="dump flight-recorder artifacts into this "
+                             "directory at every failure edge "
+                             "(invariant violation, degraded-mode "
+                             "entry, watchdog fire)")
 
 
 def _add_engine_argument(parser):
@@ -386,10 +416,13 @@ def _build_workload(args):
 
 
 def cmd_trace(args, out):
-    from repro.obs import ChromeTraceExporter, JsonlExporter
+    from repro.obs import ChromeTraceExporter, FlightRecorder, JsonlExporter
 
     kernel, run = _build_workload(args)
     exporter = ChromeTraceExporter.attach(kernel)
+    recorder = None
+    if args.flight_dump:
+        recorder = FlightRecorder.attach(kernel, seed=args.seed)
     jsonl_stream = None
     jsonl = None
     if args.jsonl:
@@ -406,6 +439,11 @@ def cmd_trace(args, out):
     if jsonl is not None:
         print(f"wrote {jsonl.lines} probe events to {args.jsonl}",
               file=out)
+    if recorder is not None:
+        recorder.dump(args.flight_dump, "on_demand")
+        print(f"wrote flight dump ({len(recorder)} events, "
+              f"{recorder.dropped} dropped) to {args.flight_dump}",
+              file=out)
     print("open in https://ui.perfetto.dev or chrome://tracing",
           file=out)
     return 0
@@ -416,14 +454,45 @@ def cmd_metrics(args, out):
 
     from repro.obs import SchedulerMetrics
 
+    output_format = args.format or ("json" if args.json else "table")
     kernel, run = _build_workload(args)
     metrics = SchedulerMetrics.attach(kernel)
     run()
-    if args.json:
+    if output_format == "json":
         print(json_module.dumps(metrics.registry.snapshot(), indent=2,
                                 sort_keys=True), file=out)
     else:
         print(metrics.format(), file=out)
+    return 0
+
+
+def cmd_report(args, out):
+    from repro.obs import (
+        FlightRecorder,
+        RunReport,
+        SchedulerMetrics,
+        WallClockProfile,
+    )
+
+    profile = WallClockProfile()
+    with profile.section("report.build"):
+        kernel, run = _build_workload(args)
+        metrics = SchedulerMetrics.attach(kernel)
+        FlightRecorder.attach(kernel, seed=args.seed)
+    with profile.section("report.run"):
+        run()
+    report = RunReport.collect(
+        kernel, metrics=metrics, profile=profile,
+        include_wallclock=not args.no_wallclock,
+    )
+    rendered = report.to_json()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote run report ({len(report.sections) - 1} "
+              f"sections) to {args.out}", file=out)
+    else:
+        out.write(rendered)
     return 0
 
 
@@ -449,7 +518,7 @@ def cmd_faults(args, out):
                   f"(try --list)", file=out)
             return 2
     report = run_campaign(scenarios=names, n_seconds=args.seconds,
-                          seed=args.seed)
+                          seed=args.seed, flight_dir=args.flight_dir)
     rendered = render_report(report)
     if args.out:
         with open(args.out, "w") as handle:
@@ -534,6 +603,7 @@ _COMMANDS = {
     "admit": cmd_admit,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "report": cmd_report,
     "faults": cmd_faults,
     "check": cmd_check,
 }
@@ -553,6 +623,7 @@ def build_parser():
     _add_admit_parser(subparsers)
     _add_trace_parser(subparsers)
     _add_metrics_parser(subparsers)
+    _add_report_parser(subparsers)
     _add_faults_parser(subparsers)
     _add_check_parser(subparsers)
     return parser

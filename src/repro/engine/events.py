@@ -80,6 +80,16 @@ class Engine:
         self._events_processed = 0
         self._pending = 0
         self._cancelled = 0
+        # telemetry (see :meth:`counters`): per-priority schedule and
+        # cancel tallies, the high-water heap length, and compaction
+        # totals.  Per-priority *processed* counts are derived at
+        # report time, so the hot path pays two dict increments and one
+        # length compare — nothing per-pop.
+        self._scheduled_by_priority = {}
+        self._cancelled_by_priority = {}
+        self._peak_heap = 0
+        self._compactions = 0
+        self._swept_total = 0
         #: optional :class:`repro.obs.bus.ProbeBus` (duck-typed — the
         #: engine stays import-free).  Sites guard on ``probes.active``
         #: so an unobserved engine pays one attribute test per event.
@@ -102,6 +112,49 @@ class Engine:
         compaction floor by the lazy-cancellation compactor)."""
         return len(self._heap)
 
+    def counters(self):
+        """JSON-ready telemetry counters (see ``docs/OBSERVABILITY.md``).
+
+        Per-priority ``processed`` and ``pending`` tallies are derived
+        here with one O(heap) scan — ``processed = scheduled -
+        cancelled - pending`` per level — so the event hot path never
+        pays for per-type accounting beyond the schedule/cancel dict
+        increments.  ``events_scheduled`` is the monotone sequence
+        counter; ``peak_heap_size`` is exact (the heap only grows at
+        ``schedule_at``).
+        """
+        pending_by_priority = {}
+        for entry in self._heap:
+            event = entry[3]
+            if not event.cancelled:
+                priority = event.priority
+                pending_by_priority[priority] = \
+                    pending_by_priority.get(priority, 0) + 1
+        by_priority = {}
+        for priority, scheduled in sorted(
+                self._scheduled_by_priority.items()):
+            cancelled = self._cancelled_by_priority.get(priority, 0)
+            pending = pending_by_priority.get(priority, 0)
+            by_priority[str(priority)] = {
+                "scheduled": scheduled,
+                "cancelled": cancelled,
+                "pending": pending,
+                "processed": scheduled - cancelled - pending,
+            }
+        return {
+            "events_processed": self._events_processed,
+            "events_scheduled": self._seq,
+            "events_cancelled": sum(
+                self._cancelled_by_priority.values()
+            ),
+            "pending": self._pending,
+            "heap_size": len(self._heap),
+            "peak_heap_size": self._peak_heap,
+            "compactions": self._compactions,
+            "compacted_swept": self._swept_total,
+            "by_priority": by_priority,
+        }
+
     def schedule_at(self, time, callback, priority=0):
         """Schedule ``callback()`` at absolute simulated ``time``.
 
@@ -119,6 +172,14 @@ class Engine:
         heapq.heappush(self._heap,
                        (event.time, priority, self._seq, event))
         self._pending += 1
+        by_priority = self._scheduled_by_priority
+        try:
+            by_priority[priority] += 1
+        except KeyError:
+            by_priority[priority] = 1
+        heap_len = len(self._heap)
+        if heap_len > self._peak_heap:
+            self._peak_heap = heap_len
         return event
 
     def schedule_after(self, delay, callback, priority=0):
@@ -137,6 +198,11 @@ class Engine:
             return
         self._pending -= 1
         self._cancelled += 1
+        by_priority = self._cancelled_by_priority
+        try:
+            by_priority[event.priority] += 1
+        except KeyError:
+            by_priority[event.priority] = 1
         self._maybe_compact()
 
     def _maybe_compact(self):
@@ -155,6 +221,8 @@ class Engine:
         self._heap = survivors
         heapq.heapify(self._heap)
         self._cancelled = 0
+        self._compactions += 1
+        self._swept_total += swept
         probes = self.probes
         if probes is not None and probes.active:
             probes.publish("engine.compact", swept=swept,

@@ -66,6 +66,15 @@ class FastEngine:
         self._events_processed = 0
         self._pending = 0
         self._cancelled = 0
+        # telemetry tallies, identical shape to the reference engine's
+        # (see Engine.counters); kept to two dict increments and one
+        # length compare on the schedule/cancel paths — the drain loop
+        # itself is untouched.
+        self._scheduled_by_priority = {}
+        self._cancelled_by_priority = {}
+        self._peak_heap = 0
+        self._compactions = 0
+        self._swept_total = 0
         #: optional probe bus (duck-typed), same contract as the
         #: reference engine — but :meth:`run` samples ``probes.active``
         #: once at entry instead of per event.
@@ -83,6 +92,41 @@ class FastEngine:
     def heap_size(self):
         return len(self._heap)
 
+    def counters(self):
+        """Telemetry counters, same shape as ``Engine.counters`` (the
+        per-priority pending scan reads record state flags instead of
+        ``Event`` attributes)."""
+        pending_by_priority = {}
+        for record in self._heap:
+            if record[4] == _PENDING:
+                priority = record[1]
+                pending_by_priority[priority] = \
+                    pending_by_priority.get(priority, 0) + 1
+        by_priority = {}
+        for priority, scheduled in sorted(
+                self._scheduled_by_priority.items()):
+            cancelled = self._cancelled_by_priority.get(priority, 0)
+            pending = pending_by_priority.get(priority, 0)
+            by_priority[str(priority)] = {
+                "scheduled": scheduled,
+                "cancelled": cancelled,
+                "pending": pending,
+                "processed": scheduled - cancelled - pending,
+            }
+        return {
+            "events_processed": self._events_processed,
+            "events_scheduled": self._seq,
+            "events_cancelled": sum(
+                self._cancelled_by_priority.values()
+            ),
+            "pending": self._pending,
+            "heap_size": len(self._heap),
+            "peak_heap_size": self._peak_heap,
+            "compactions": self._compactions,
+            "compacted_swept": self._swept_total,
+            "by_priority": by_priority,
+        }
+
     def schedule_at(self, time, callback, priority=0):
         """Schedule ``callback()`` at absolute ``time`` (see reference)."""
         if time < self.now:
@@ -95,6 +139,14 @@ class FastEngine:
         record = [time, priority, seq, callback, _PENDING]
         _heappush(self._heap, record)
         self._pending += 1
+        by_priority = self._scheduled_by_priority
+        try:
+            by_priority[priority] += 1
+        except KeyError:
+            by_priority[priority] = 1
+        heap_len = len(self._heap)
+        if heap_len > self._peak_heap:
+            self._peak_heap = heap_len
         return record
 
     def schedule_after(self, delay, callback, priority=0):
@@ -111,6 +163,11 @@ class FastEngine:
         record[4] = _CANCELLED
         self._pending -= 1
         self._cancelled += 1
+        by_priority = self._cancelled_by_priority
+        try:
+            by_priority[record[1]] += 1
+        except KeyError:
+            by_priority[record[1]] = 1
         if self._cancelled >= _COMPACT_MIN_CANCELLED and \
                 self._cancelled * 2 > len(self._heap):
             self._compact()
@@ -132,6 +189,8 @@ class FastEngine:
         heap[:] = survivors
         heapq.heapify(heap)
         self._cancelled = 0
+        self._compactions += 1
+        self._swept_total += swept
         probes = self.probes
         if probes is not None and probes.active:
             probes.publish("engine.compact", swept=swept,

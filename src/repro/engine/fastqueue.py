@@ -45,6 +45,10 @@ class FastLevelQueue:
         self._levels = [deque() for _ in range(max_prio + 1)]
         self._bits = 0
         self._count = 0
+        # depth high-water marks, same telemetry as the reference
+        # queue's (see IndexedLevelQueue.counters).
+        self._peak_depth = 0
+        self._level_peaks = [0] * (max_prio + 1)
         #: optional probe bus (duck-typed), as in the reference queue.
         self.probes = None
 
@@ -70,6 +74,11 @@ class FastLevelQueue:
             level.append(item)
         self._bits |= 1 << prio
         self._count += 1
+        if self._count > self._peak_depth:
+            self._peak_depth = self._count
+        level_len = len(level)
+        if level_len > self._level_peaks[prio]:
+            self._level_peaks[prio] = level_len
         probes = self.probes
         if probes is not None and probes.active:
             probes.publish("rq.enqueue", cpu=self.cpu_id, prio=prio,
@@ -126,6 +135,20 @@ class FastLevelQueue:
     def items_at(self, prio):
         """Snapshot (list) of items queued at ``prio``, head first."""
         return list(self._levels[prio])
+
+    def counters(self):
+        """JSON-ready depth telemetry, identical shape to
+        ``IndexedLevelQueue.counters``."""
+        return {
+            "cpu": self.cpu_id,
+            "depth": self._count,
+            "peak_depth": self._peak_depth,
+            "level_peaks": {
+                str(prio): peak
+                for prio, peak in enumerate(self._level_peaks)
+                if peak
+            },
+        }
 
     #: Historical alias used by kernel diagnostics (FifoRunQueue had it).
     threads_at = items_at

@@ -61,6 +61,8 @@ class HeapReadyQueue:
         self._live = {}
         self._seq = 0
         self._removed = 0
+        # depth high-water mark (telemetry, see :meth:`counters`).
+        self._peak_depth = 0
         #: optional probe bus (duck-typed; see :mod:`repro.obs.bus`).
         #: Owned by whoever built the queue — the kernel wires its run
         #: queues to its bus; standalone queues stay unobserved.
@@ -88,6 +90,8 @@ class HeapReadyQueue:
         self._seq += 1
         self._live[id(item)] = self._seq
         heapq.heappush(self._heap, (self._key(item), self._seq, item))
+        if len(self._live) > self._peak_depth:
+            self._peak_depth = len(self._live)
         probes = self.probes
         if probes is not None and probes.active:
             probes.publish("rq.enqueue", cpu=self.cpu_id,
@@ -166,6 +170,16 @@ class HeapReadyQueue:
             del self._live[id(item)]
             taken.append(item)
         return taken
+
+    def counters(self):
+        """JSON-ready depth telemetry (keyed heaps have no levels, so
+        ``level_peaks`` is empty — same shape as the level queues)."""
+        return {
+            "cpu": self.cpu_id,
+            "depth": len(self._live),
+            "peak_depth": self._peak_depth,
+            "level_peaks": {},
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -316,6 +330,10 @@ class IndexedLevelQueue:
         self._levels = [CircularDList() for _ in range(max_prio + 1)]
         self._bitmap = PriorityBitmap()
         self._count = 0
+        # depth high-water marks: whole queue and per level (telemetry,
+        # see :meth:`counters`); updated on enqueue only.
+        self._peak_depth = 0
+        self._level_peaks = [0] * (max_prio + 1)
         #: optional probe bus (duck-typed; see :class:`HeapReadyQueue`).
         self.probes = None
 
@@ -353,6 +371,11 @@ class IndexedLevelQueue:
             level.push_tail(item)
         self._bitmap.set(prio)
         self._count += 1
+        if self._count > self._peak_depth:
+            self._peak_depth = self._count
+        level_len = len(level)
+        if level_len > self._level_peaks[prio]:
+            self._level_peaks[prio] = level_len
         probes = self.probes
         if probes is not None and probes.active:
             probes.publish("rq.enqueue", cpu=self.cpu_id, prio=prio,
@@ -404,3 +427,18 @@ class IndexedLevelQueue:
         """Snapshot (list) of items queued at ``prio``, head first."""
         self._check_prio(prio)
         return list(self._levels[prio])
+
+    def counters(self):
+        """JSON-ready depth telemetry: current depth, the queue-wide
+        high-water mark, and the per-level high-water marks (levels
+        that never held an item are omitted)."""
+        return {
+            "cpu": self.cpu_id,
+            "depth": self._count,
+            "peak_depth": self._peak_depth,
+            "level_peaks": {
+                str(prio): peak
+                for prio, peak in enumerate(self._level_peaks)
+                if peak
+            },
+        }

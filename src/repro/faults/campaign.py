@@ -21,6 +21,8 @@ from repro.core.resilience import (
 )
 from repro.faults.injectors import FaultInjector
 from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.profile import NullProfile
 from repro.simkernel.time_units import MSEC, SEC
 from repro.trading.network import NetworkModel
 from repro.trading.system import RealTimeTradingSystem
@@ -173,46 +175,71 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name, n_seconds=30, seed=0):
-    """Run one canned scenario; returns its (JSON-ready) report dict."""
+def run_scenario(name, n_seconds=30, seed=0, flight_dir=None,
+                 profile=None, _sabotage=None):
+    """Run one canned scenario; returns its (JSON-ready) report dict.
+
+    :param flight_dir: when set, a
+        :class:`~repro.obs.flightrec.FlightRecorder` rides along
+        passively and dumps its ring into this directory at every
+        failure edge (invariant violation, degraded-mode entry,
+        watchdog fire).
+    :param profile: optional
+        :class:`~repro.obs.profile.WallClockProfile` — setup and run
+        are timed under ``faults.<scenario>.setup`` / ``.run``.
+        Wall-clock numbers never enter the returned report (it must
+        stay byte-deterministic).
+    :param _sabotage: test hook — ``f(kernel)`` called after setup,
+        before the run; used to plant invariant violations for
+        flight-recorder smoke tests.
+    """
     if name not in SCENARIOS:
         raise KeyError(
             f"unknown scenario {name!r}; valid: {sorted(SCENARIOS)}"
         )
+    if profile is None:
+        profile = NullProfile()
     config = SCENARIOS[name]
     horizon = n_seconds * SEC
     plan = config["plan"](horizon, seed)
     injector = FaultInjector(plan)
 
-    network = None
-    if config.get("network"):
-        network = injector.wrap_network(NetworkModel(seed=seed))
-    retry = RetryPolicy(max_attempts=3, backoff=5 * MSEC,
-                        reserve=100 * MSEC) if config.get("retry") else None
-    watchdog = OverrunWatchdog(grace=5 * MSEC) \
-        if config.get("watchdog") else None
-    degrade = DegradedModeController(enter_after=3, exit_after=2) \
-        if config.get("degrade") else None
+    with profile.section(f"faults.{name}.setup"):
+        network = None
+        if config.get("network"):
+            network = injector.wrap_network(NetworkModel(seed=seed))
+        retry = RetryPolicy(max_attempts=3, backoff=5 * MSEC,
+                            reserve=100 * MSEC) if config.get("retry") else None
+        watchdog = OverrunWatchdog(grace=5 * MSEC) \
+            if config.get("watchdog") else None
+        degrade = DegradedModeController(enter_after=3, exit_after=2) \
+            if config.get("degrade") else None
 
-    system = RealTimeTradingSystem(
-        n_seconds=n_seconds, seed=seed, network=network,
-        retry_policy=retry, watchdog=watchdog, degrade=degrade,
-        **config.get("system", {}),
-    )
-    task = system.task
-    task.feed = injector.wrap_feed(task.feed)
-    task.broker = injector.wrap_broker(task.broker)
-    kernel = system.middleware.kernel
+        system = RealTimeTradingSystem(
+            n_seconds=n_seconds, seed=seed, network=network,
+            retry_policy=retry, watchdog=watchdog, degrade=degrade,
+            **config.get("system", {}),
+        )
+        task = system.task
+        task.feed = injector.wrap_feed(task.feed)
+        task.broker = injector.wrap_broker(task.broker)
+        kernel = system.middleware.kernel
 
-    events = {}
+        events = {}
 
-    def count_event(topic, _time, _data):
-        events[topic] = events.get(topic, 0) + 1
+        def count_event(topic, _time, _data):
+            events[topic] = events.get(topic, 0) + 1
 
-    kernel.probes.subscribe(count_event, topics=_COUNTED_TOPICS)
-    injector.attach(kernel)
+        kernel.probes.subscribe(count_event, topics=_COUNTED_TOPICS)
+        recorder = FlightRecorder.attach(kernel, dump_dir=flight_dir,
+                                         seed=seed)
+        recorder.degrade = degrade
+        injector.attach(kernel)
+        if _sabotage is not None:
+            _sabotage(kernel)
 
-    report = system.run()
+    with profile.section(f"faults.{name}.run"):
+        report = system.run()
     probes = report.task_result.probes
     misses = len(report.task_result.deadline_misses)
     summary = report.summary()
@@ -248,15 +275,21 @@ def run_scenario(name, n_seconds=30, seed=0):
     return result
 
 
-def run_campaign(scenarios=None, n_seconds=30, seed=0):
-    """Sweep ``scenarios`` (default: all) into one resilience report."""
+def run_campaign(scenarios=None, n_seconds=30, seed=0, flight_dir=None,
+                 profile=None):
+    """Sweep ``scenarios`` (default: all) into one resilience report.
+
+    ``flight_dir`` and ``profile`` are forwarded to every
+    :func:`run_scenario`; neither affects the report bytes.
+    """
     names = list(scenarios) if scenarios else sorted(SCENARIOS)
     return {
         "campaign": "rtseed-resilience",
         "seed": seed,
         "n_seconds": n_seconds,
         "scenarios": {
-            name: run_scenario(name, n_seconds=n_seconds, seed=seed)
+            name: run_scenario(name, n_seconds=n_seconds, seed=seed,
+                               flight_dir=flight_dir, profile=profile)
             for name in names
         },
     }

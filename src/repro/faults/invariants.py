@@ -123,11 +123,22 @@ def collect_violations(kernel):
 
 def check_kernel_invariants(kernel):
     """Raise :class:`InvariantViolationError` unless every invariant
-    holds; returns None on success."""
+    holds; returns None on success.
+
+    If a :class:`~repro.obs.flightrec.FlightRecorder` is registered on
+    the kernel's probe bus, its ring is snapshotted (and dumped, when
+    the recorder has a ``dump_dir``) *before* raising, and the snapshot
+    rides on the exception as ``error.flight`` — the events leading up
+    to the violation survive the crash.
+    """
     violations = collect_violations(kernel)
     if violations:
-        raise InvariantViolationError(
+        error = InvariantViolationError(
             f"{len(violations)} kernel invariant(s) violated at "
             f"t={kernel.engine.now:.0f}: " + "; ".join(violations),
             violations=violations,
         )
+        flight = getattr(kernel.probes, "flight", None)
+        if flight is not None:
+            error.flight = flight.record_failure("invariant_violation")
+        raise error

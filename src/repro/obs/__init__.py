@@ -20,6 +20,12 @@ each — the default run is effectively unobserved.  See
 """
 
 from repro.obs.bus import PROBE_SITES, ProbeBus
+from repro.obs.flightrec import (
+    FLIGHTREC_SCHEMA,
+    FlightRecorder,
+    kernel_state_summary,
+)
+from repro.obs.report import RUN_REPORT_SCHEMA, RunReport
 from repro.obs.export import (
     ChromeTraceExporter,
     JsonlExporter,
@@ -38,6 +44,11 @@ from repro.obs.profile import NullProfile, WallClockProfile
 __all__ = [
     "PROBE_SITES",
     "ProbeBus",
+    "FLIGHTREC_SCHEMA",
+    "FlightRecorder",
+    "kernel_state_summary",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
     "ChromeTraceExporter",
     "JsonlExporter",
     "TraceValidationError",

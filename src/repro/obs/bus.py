@@ -210,6 +210,11 @@ PROBE_SITES = {
     "fault.broker_disconnect": (
         "faults/injectors.py",
         "broker link dropped mid-submit; fields: side, units"),
+    # -- repro.obs.flightrec -------------------------------------------
+    "flightrec.dump": (
+        "obs/flightrec.py",
+        "flight-recorder ring dumped; fields: reason, recorded, "
+        "dropped, path (None when the dump stayed in memory)"),
 }
 
 
@@ -249,17 +254,27 @@ class ProbeBus:
         ``0.0`` (useful for unit tests of pure data structures).
     """
 
-    __slots__ = ("active", "_clock", "_subs", "published")
+    __slots__ = ("active", "_clock", "_subs", "_passive", "published",
+                 "flight")
 
     def __init__(self, clock=None):
-        #: True iff at least one subscriber is attached.  Probe sites
-        #: read this *attribute* (not a property — keep the idle path to
-        #: one LOAD_ATTR) before building any payload.
+        #: True iff at least one *non-passive* subscriber is attached.
+        #: Probe sites read this *attribute* (not a property — keep the
+        #: idle path to one LOAD_ATTR) before building any payload.
         self.active = False
         self._clock = clock
         self._subs = []
+        #: ids of passive subscribers — attached but not counted toward
+        #: :attr:`active`, so they ride along for free whenever a real
+        #: observer activates the bus (see
+        #: :class:`repro.obs.flightrec.FlightRecorder`).
+        self._passive = set()
         #: events fanned out so far (diagnostics).
         self.published = 0
+        #: the attached :class:`~repro.obs.flightrec.FlightRecorder`,
+        #: if any — failure edges (invariant checks, check divergences)
+        #: discover the recorder through the bus they already hold.
+        self.flight = None
 
     @property
     def clock(self):
@@ -272,22 +287,34 @@ class ProbeBus:
     def __len__(self):
         return len(self._subs)
 
-    def subscribe(self, fn, topics=None):
+    def subscribe(self, fn, topics=None, passive=False):
         """Attach ``fn(topic, time, data)``; returns ``fn`` for chaining.
 
         :param topics: iterable of exact topic names and/or ``"layer.*"``
             prefix patterns; ``None`` subscribes to everything.
+        :param passive: a passive subscriber does not flip
+            :attr:`active`, so probe sites keep skipping payload
+            construction until a real observer attaches — it receives
+            exactly the events the active observers cause to be
+            published.  This is the flight recorder's always-on,
+            zero-steady-state-cost mode.
         """
         if any(sub_fn is fn for sub_fn, _ in self._subs):
             raise ValueError(f"{fn!r} already subscribed")
         self._subs.append((fn, _make_matcher(topics)))
-        self.active = True
+        if passive:
+            self._passive.add(id(fn))
+        else:
+            self.active = True
         return fn
 
     def unsubscribe(self, fn):
         """Detach a subscriber; unknown subscribers are a no-op."""
         self._subs = [entry for entry in self._subs if entry[0] is not fn]
-        self.active = bool(self._subs)
+        self._passive.discard(id(fn))
+        self.active = any(
+            id(sub_fn) not in self._passive for sub_fn, _ in self._subs
+        )
 
     def publish(self, topic, **data):
         """Stamp and fan out one probe event.

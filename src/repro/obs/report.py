@@ -1,0 +1,97 @@
+"""Unified run report: every telemetry source in one JSON document.
+
+The observability subsystem grew one collector per concern — simulated
+:class:`~repro.obs.metrics.SchedulerMetrics`, wall-clock
+:class:`~repro.obs.profile.WallClockProfile`, the engine/queue counters
+(``Engine.counters`` / queue ``counters``), fault-injection and
+degraded-mode stats.  :class:`RunReport` merges whichever of those a run
+used into one deterministic JSON document (stable key order; wall-clock
+data is opt-out via ``include_wallclock=False`` so byte-stable reports
+remain available to CI diffing).
+
+Emitted by ``repro report`` and consumed by ``tools/bench_report.py``;
+see ``docs/OBSERVABILITY.md``.
+"""
+
+import json
+
+#: Report document schema tag.
+RUN_REPORT_SCHEMA = "rtseed-run-report/1"
+
+
+class RunReport:
+    """Assembles the merged report; sections are plain JSON-ready dicts.
+
+    Use :meth:`collect` for the standard assembly from a finished run;
+    the instance is also buildable piecewise (``report.sections[...] =
+    ...``) for callers with unusual section sources.
+    """
+
+    def __init__(self):
+        self.sections = {"schema": RUN_REPORT_SCHEMA}
+
+    @classmethod
+    def collect(cls, kernel, metrics=None, profile=None, injector=None,
+                watchdog=None, degrade=None, include_wallclock=True):
+        """Build the report from a finished run's collaborators.
+
+        :param kernel: the simulated kernel (engine + queue counters,
+            engine backend name).
+        :param metrics: optional
+            :class:`~repro.obs.metrics.SchedulerMetrics` (or a bare
+            registry) — its sorted snapshot becomes the ``metrics``
+            section.
+        :param profile: optional
+            :class:`~repro.obs.profile.WallClockProfile`; skipped when
+            ``include_wallclock`` is false (wall-clock data breaks
+            byte-determinism).
+        :param injector: optional
+            :class:`~repro.faults.injectors.FaultInjector` (injected
+            fault counts).
+        :param watchdog: optional
+            :class:`~repro.core.resilience.OverrunWatchdog`.
+        :param degrade: optional
+            :class:`~repro.core.resilience.DegradedModeController`.
+        """
+        report = cls()
+        sections = report.sections
+        sections["engine"] = {
+            "backend": getattr(kernel.backend, "name", "unknown"),
+            "now": kernel.engine.now,
+            "counters": kernel.engine.counters(),
+        }
+        queues = {}
+        for cpu, runqueue in enumerate(kernel.runqueues):
+            if hasattr(runqueue, "counters"):
+                queues[f"cpu{cpu}"] = runqueue.counters()
+        sections["queues"] = queues
+        if metrics is not None:
+            registry = getattr(metrics, "registry", metrics)
+            sections["metrics"] = registry.snapshot()
+        fault_stats = {}
+        if injector is not None:
+            fault_stats["injected"] = dict(injector.counts)
+        if watchdog is not None:
+            fault_stats["watchdog_fires"] = len(watchdog.fired)
+        if degrade is not None:
+            fault_stats["degraded"] = {
+                "active": degrade.degraded,
+                "episodes": len(degrade.episodes),
+                "shed_jobs": degrade.shed_jobs,
+            }
+        if fault_stats:
+            sections["faults"] = fault_stats
+        if profile is not None and include_wallclock:
+            sections["wallclock"] = profile.report()
+        return report
+
+    def to_dict(self):
+        return dict(self.sections)
+
+    def to_json(self):
+        """Deterministic rendering: sorted keys, trailing newline."""
+        return json.dumps(self.sections, sort_keys=True, indent=2) + "\n"
+
+    def __repr__(self):
+        names = sorted(k for k in self.sections if k != "schema")
+        return f"<RunReport sections={names}>"

@@ -175,6 +175,11 @@ class Kernel:
         #: default) keeps every hook site to a single attribute test, the
         #: same zero-overhead pattern as the probe bus.
         self.faults = None
+        #: currently armed :class:`~repro.simkernel.timers.KTimer`
+        #: objects — maintained at arm/disarm/expire (O(1) set ops) so
+        #: diagnostics (the flight recorder's kernel summary) can list
+        #: pending timers without scanning threads.
+        self.armed_timers = set()
         #: per-kernel tid counter, assigned at :meth:`spawn` so two
         #: same-seed kernels in one process emit byte-identical probe
         #: streams (a process-global counter would skew the second run).
@@ -992,6 +997,7 @@ class Kernel:
             self.engine.cancel(timer.event)
             timer.event = None
             timer.expires_at = None
+            self.armed_timers.discard(timer)
         if request.at is not None:
             expires = max(request.at, self.engine.now)
             if self.faults is not None:
@@ -1006,6 +1012,7 @@ class Kernel:
                 expire_cb = timer._expire_cb = \
                     partial(self._timer_expire, timer)
             timer.event = self.engine.schedule_at(expires, expire_cb)
+            self.armed_timers.add(timer)
             if self.probes.active:
                 self._emit("timer_arm", thread, timer=timer.name,
                            at=expires)
@@ -1016,6 +1023,7 @@ class Kernel:
     def _timer_expire(self, timer):
         timer.event = None
         timer.expires_at = None
+        self.armed_timers.discard(timer)
         timer.expirations += 1
         timer.last_expired_at = self.engine.now
         self._emit("timer_expire", timer.owner, timer=timer.name,

@@ -101,3 +101,41 @@ def test_ghost_waiter_is_caught():
 
     run_with_probe(corrupt)
     assert any("ghost" in message for message in found)
+
+
+def test_violation_carries_flight_snapshot(tmp_path):
+    """The raised error rides the flight-recorder ring + dump along."""
+    from repro.obs.flightrec import FlightRecorder
+
+    caught = []
+
+    def corrupt(kernel):
+        recorder = FlightRecorder.attach(kernel, seed=9,
+                                         dump_dir=str(tmp_path))
+        kernel.probes.subscribe(lambda topic, time, data: None)
+        kernel.current[0].state = ThreadState.BLOCKED
+        try:
+            check_kernel_invariants(kernel)
+        except InvariantViolationError as error:
+            caught.append(error)
+            raise
+
+    with pytest.raises(InvariantViolationError):
+        run_with_probe(corrupt)
+    (error,) = caught
+    snapshot = error.flight
+    assert snapshot["header"]["reason"] == "invariant_violation"
+    assert snapshot["header"]["seed"] == 9
+    assert snapshot["kernel"]["now"] > 0
+    dump = tmp_path / "flightrec-invariant_violation-seed9.jsonl"
+    assert dump.exists()
+
+
+def test_violation_without_recorder_has_no_flight():
+    def corrupt(kernel):
+        kernel.current[0].state = ThreadState.BLOCKED
+        check_kernel_invariants(kernel)
+
+    with pytest.raises(InvariantViolationError) as excinfo:
+        run_with_probe(corrupt)
+    assert not hasattr(excinfo.value, "flight")

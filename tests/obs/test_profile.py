@@ -86,3 +86,59 @@ def test_null_profile_is_a_drop_in():
     assert fn() == 7
     assert profile.report() == {}
     assert "disabled" in profile.format()
+
+
+def test_nested_sections_account_independently():
+    clock = FakeClock()
+    profile = WallClockProfile(clock=clock)
+    with profile.section("outer"):
+        clock.now += 0.1
+        with profile.section("inner"):
+            clock.now += 0.2
+        clock.now += 0.1
+    report = profile.report()
+    assert report["outer"]["calls"] == 1
+    assert report["inner"]["calls"] == 1
+    assert report["inner"]["seconds"] == 0.2
+    # the outer section includes time spent inside the inner one
+    assert report["outer"]["seconds"] == pytest.approx(0.4)
+
+
+def test_nested_same_name_counts_both_spans():
+    clock = FakeClock()
+    profile = WallClockProfile(clock=clock)
+    with profile.section("s"):
+        clock.now += 0.1
+        with profile.section("s"):
+            clock.now += 0.2
+    report = profile.report()
+    assert report["s"]["calls"] == 2
+    assert report["s"]["seconds"] == pytest.approx(0.5)
+    assert report["s"]["min_ms"] == 200.0
+    assert report["s"]["max_ms"] == 300.0
+
+
+def test_null_profile_section_nesting_is_harmless():
+    profile = NullProfile()
+    with profile.section("outer"):
+        with profile.section("inner"):
+            pass
+    assert profile.report() == {}
+
+
+def test_check_runner_accepts_either_profile():
+    """run_scenario behaves identically with a real or null profile."""
+    from repro.check import run_scenario
+    from repro.check.scenario import generate_scenario
+
+    scenario = generate_scenario(0)
+    profile = WallClockProfile()
+    with_profile = run_scenario(scenario, profile=profile)
+    plain = run_scenario(scenario)
+    assert with_profile.ok == plain.ok
+    report = profile.report()
+    assert report["check.middleware"]["calls"] == 1
+    assert report["check.oracles"]["calls"] == 1
+    if with_profile.differential_ran:
+        assert report["check.simulator"]["calls"] == 1
+        assert report["check.compare"]["calls"] == 1

@@ -1,0 +1,144 @@
+"""Tests for the unified run report."""
+
+import json
+
+import pytest
+
+from repro.core.middleware import RTSeed
+from repro.obs import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    SchedulerMetrics,
+    WallClockProfile,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def small_run(with_metrics=True):
+    from repro.bench.overheads import OPTIONAL_DEADLINE, make_eval_task
+
+    middleware = RTSeed(seed=0)
+    middleware.add_task(
+        make_eval_task(3),
+        n_jobs=2,
+        cpu=0,
+        policy="one_by_one",
+        optional_deadline=OPTIONAL_DEADLINE,
+    )
+    metrics = SchedulerMetrics.attach(middleware.kernel) \
+        if with_metrics else None
+    middleware.run()
+    return middleware.kernel, metrics
+
+
+def test_collect_engine_and_queue_sections():
+    kernel, metrics = small_run()
+    report = RunReport.collect(kernel, metrics=metrics)
+    sections = report.to_dict()
+    assert sections["schema"] == RUN_REPORT_SCHEMA
+    engine = sections["engine"]
+    assert engine["backend"] in ("reference", "fast")
+    counters = engine["counters"]
+    assert counters["events_processed"] > 0
+    assert counters["events_scheduled"] >= counters["events_processed"]
+    assert counters["pending"] == 0  # drained run
+    assert counters["peak_heap_size"] >= 1
+    # per-priority accounting adds up
+    for level in counters["by_priority"].values():
+        assert level["processed"] == (level["scheduled"]
+                                      - level["cancelled"]
+                                      - level["pending"])
+    queues = sections["queues"]
+    assert "cpu0" in queues
+    assert queues["cpu0"]["peak_depth"] >= 1
+    assert queues["cpu0"]["depth"] == 0
+    assert sections["metrics"]["counters"]
+
+
+def test_optional_sections_absent_when_not_wired():
+    kernel, _metrics = small_run(with_metrics=False)
+    sections = RunReport.collect(kernel).to_dict()
+    assert "metrics" not in sections
+    assert "faults" not in sections
+    assert "wallclock" not in sections
+
+
+def test_wallclock_section_is_opt_out():
+    kernel, _metrics = small_run(with_metrics=False)
+    profile = WallClockProfile()
+    with profile.section("phase"):
+        pass
+    with_clock = RunReport.collect(kernel, profile=profile).to_dict()
+    without = RunReport.collect(kernel, profile=profile,
+                                include_wallclock=False).to_dict()
+    assert "wallclock" in with_clock
+    assert "wallclock" not in without
+
+
+def test_fault_sections_from_collaborators():
+    class FakeInjector:
+        counts = {"signal_drop": 3}
+
+    class FakeWatchdog:
+        fired = [1, 2]
+
+    class FakeDegrade:
+        degraded = False
+        episodes = [1]
+        shed_jobs = 4
+
+    kernel, _metrics = small_run(with_metrics=False)
+    sections = RunReport.collect(
+        kernel, injector=FakeInjector(), watchdog=FakeWatchdog(),
+        degrade=FakeDegrade(),
+    ).to_dict()
+    faults = sections["faults"]
+    assert faults["injected"] == {"signal_drop": 3}
+    assert faults["watchdog_fires"] == 2
+    assert faults["degraded"] == {"active": False, "episodes": 1,
+                                  "shed_jobs": 4}
+
+
+def test_to_json_is_deterministic_and_parseable():
+    kernel, metrics = small_run()
+    rendered = RunReport.collect(kernel, metrics=metrics).to_json()
+    assert rendered.endswith("\n")
+    parsed = json.loads(rendered)
+    assert parsed["schema"] == RUN_REPORT_SCHEMA
+    # stable key order: re-serializing sorted must reproduce the bytes
+    assert rendered == json.dumps(parsed, sort_keys=True, indent=2) + "\n"
+
+    kernel2, metrics2 = small_run()
+    assert RunReport.collect(kernel2, metrics=metrics2).to_json() \
+        == rendered
+
+
+def test_reports_match_across_backends():
+    from repro.bench.overheads import OPTIONAL_DEADLINE, make_eval_task
+
+    def run(engine):
+        middleware = RTSeed(seed=0, engine=engine)
+        middleware.add_task(
+            make_eval_task(3),
+            n_jobs=2,
+            cpu=0,
+            policy="one_by_one",
+            optional_deadline=OPTIONAL_DEADLINE,
+        )
+        middleware.run()
+        return RunReport.collect(middleware.kernel).to_dict()
+
+    reference = run("reference")
+    fast = run("fast")
+    assert reference["engine"]["backend"] == "reference"
+    assert fast["engine"]["backend"] == "fast"
+    # identical work, identical telemetry — only the backend name differs
+    reference["engine"]["backend"] = fast["engine"]["backend"]
+    assert reference == fast
+
+
+def test_repr_names_sections():
+    kernel, _metrics = small_run(with_metrics=False)
+    report = RunReport.collect(kernel)
+    assert "engine" in repr(report)

@@ -137,3 +137,94 @@ def test_module_entry_point():
     )
     assert result.returncode == 0
     assert "Figure 3" in result.stdout
+
+
+def test_metrics_command_format_flag():
+    import json
+
+    code, as_json = run_cli([
+        "metrics", "--np", "4", "--jobs", "2", "--format", "json",
+    ])
+    assert code == 0
+    snapshot = json.loads(as_json)
+    assert snapshot["counters"]["rtseed.jobs[tau1]"] == 2
+    # stable key ordering: sorted at every level
+    assert as_json == json.dumps(snapshot, indent=2,
+                                 sort_keys=True) + "\n"
+
+    code, legacy = run_cli([
+        "metrics", "--np", "4", "--jobs", "2", "--json",
+    ])
+    assert code == 0
+    assert legacy == as_json  # --json stays as the shorthand
+
+    code, table = run_cli([
+        "metrics", "--np", "4", "--jobs", "2", "--format", "table",
+    ])
+    assert code == 0
+    assert "kernel.dispatches" in table
+
+
+def test_report_command(tmp_path):
+    import json
+
+    code, output = run_cli(["report", "--np", "4", "--jobs", "2"])
+    assert code == 0
+    report = json.loads(output)
+    assert report["schema"] == "rtseed-run-report/1"
+    assert report["engine"]["counters"]["events_processed"] > 0
+    assert report["metrics"]["counters"]["rtseed.jobs[tau1]"] == 2
+    assert "report.run" in report["wallclock"]
+
+    out_path = tmp_path / "report.json"
+    code, output = run_cli([
+        "report", "--np", "4", "--jobs", "2", "--no-wallclock",
+        "--out", str(out_path),
+    ])
+    assert code == 0
+    assert "wrote run report" in output
+    written = json.loads(out_path.read_text())
+    assert "wallclock" not in written
+    assert written["queues"]["cpu0"]["peak_depth"] >= 1
+
+
+def test_report_command_is_deterministic_without_wallclock():
+    code_a, first = run_cli([
+        "report", "--np", "4", "--jobs", "2", "--no-wallclock",
+    ])
+    code_b, second = run_cli([
+        "report", "--np", "4", "--jobs", "2", "--no-wallclock",
+    ])
+    assert code_a == code_b == 0
+    assert first == second
+
+
+def test_trace_command_flight_dump(tmp_path):
+    import json
+
+    dump = tmp_path / "flight.jsonl"
+    code, output = run_cli([
+        "trace", "--np", "4", "--jobs", "2",
+        "--out", str(tmp_path / "trace.json"),
+        "--flight-dump", str(dump),
+    ])
+    assert code == 0
+    assert "wrote flight dump" in output
+    lines = dump.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["schema"] == "rtseed-flightrec/1"
+    assert header["reason"] == "on_demand"
+    kernel = json.loads(lines[1])
+    assert kernel["threads_alive"] == 0  # run completed
+    assert len(lines) - 2 == min(header["recorded"], header["capacity"])
+
+
+def test_faults_command_flight_dir(tmp_path):
+    code, output = run_cli([
+        "faults", "--scenario", "overload_degrade", "--seconds", "12",
+        "--flight-dir", str(tmp_path),
+    ])
+    assert code == 0
+    names = sorted(p.name for p in tmp_path.iterdir())
+    # degraded-mode entry is a failure edge: the recorder auto-dumped
+    assert any(name.startswith("flightrec-degrade_enter") for name in names)
