@@ -20,6 +20,10 @@ JSON blob suitable for committing as ``BENCH_engine.json``:
   recorder attached to an otherwise idle bus: the recorder must not
   flip ``bus.active``, so this configuration must match the unobserved
   rate (the always-on acceptance criterion).
+* ``--farm-append`` — scenario-farm throughput (``repro.farm``): the
+  same ``farm_check`` batch at 1/2/4 workers, recorded as
+  scenarios/sec + speedup in the ``farm_history`` list with the host
+  ``cpus`` count (speedup is meaningless without it).
 
 Usage::
 
@@ -246,14 +250,77 @@ def fig10_trajectory_entry(pr, engine=None, runs=5, n_jobs=FIG10_N_JOBS):
     }
 
 
-def append_trajectory(path, entry):
-    """Append ``entry`` to the ``history`` list in ``path``.
+FARM_RUNS = 24
+FARM_WORKER_COUNTS = (1, 2, 4)
+FARM_SAMPLES = 3
+
+
+def bench_farm(runs=FARM_RUNS, worker_counts=FARM_WORKER_COUNTS,
+               samples=FARM_SAMPLES):
+    """Scenario-farm throughput: one check batch at each worker count.
+
+    Runs the same ``farm_check`` batch (shrink off, fault-free) at
+    every count in ``worker_counts`` and reports the median
+    scenarios/sec plus the speedup over the single-worker rate.  On a
+    single-core container the multi-worker speedup is bounded by ~1.0x
+    (process overhead makes it slightly worse); ``cpus`` is recorded so
+    trajectory readers can interpret the numbers.
+    """
+    import os
+
+    from repro.farm import farm_check
+
+    per_workers = {}
+    for workers in worker_counts:
+        rates = []
+        for _ in range(samples):
+            start = time.perf_counter()
+            document, result = farm_check(runs, seed=0, shrink=False,
+                                          workers=workers)
+            elapsed = time.perf_counter() - start
+            assert result.ok and document["completed_runs"] == runs
+            rates.append(runs / elapsed)
+        rates.sort()
+        per_workers[workers] = rates[len(rates) // 2]
+    base = per_workers[worker_counts[0]]
+    return {
+        "runs": runs,
+        "samples": samples,
+        "cpus": os.cpu_count(),
+        "scenarios_per_sec": {
+            str(workers): round(rate, 1)
+            for workers, rate in per_workers.items()
+        },
+        "speedup": {
+            str(workers): round(rate / base, 2)
+            for workers, rate in per_workers.items()
+        },
+    }
+
+
+def farm_trajectory_entry(pr, runs=FARM_RUNS,
+                          worker_counts=FARM_WORKER_COUNTS,
+                          samples=FARM_SAMPLES):
+    """Farm-throughput measurement shaped for the ``BENCH_engine.json``
+    ``farm_history`` list."""
+    return {
+        "pr": pr,
+        "seed": 0,
+        "workload": "farm_check",
+        "farm": bench_farm(runs=runs, worker_counts=worker_counts,
+                           samples=samples),
+    }
+
+
+def append_trajectory(path, entry, key="history"):
+    """Append ``entry`` to the ``key`` list in ``path``.
 
     Strictly append-only: earlier entries are never rewritten, so the
-    committed file is a per-PR throughput trajectory."""
+    committed file is a per-PR throughput trajectory (``history`` for
+    fig10 events/sec, ``farm_history`` for farm scenarios/sec)."""
     with open(path) as handle:
         data = json.load(handle)
-    data.setdefault("history", []).append(entry)
+    data.setdefault(key, []).append(entry)
     with open(path, "w") as handle:
         json.dump(data, handle, indent=2)
         handle.write("\n")
@@ -271,6 +338,10 @@ def main(argv=None):
                         help="append a fig10 trajectory entry to this "
                              "BENCH_engine.json instead of printing the "
                              "full report")
+    parser.add_argument("--farm-append", default=None, metavar="JSON",
+                        help="append a scenario-farm throughput entry "
+                             "(scenarios/sec at 1/2/4 workers) to this "
+                             "BENCH_engine.json's farm_history list")
     parser.add_argument("--pr", default="unlabeled",
                         help="PR identifier recorded in the trajectory "
                              "entry (with --append)")
@@ -288,6 +359,17 @@ def main(argv=None):
         entry = fig10_trajectory_entry(args.pr, engine=args.engine,
                                        runs=runs, n_jobs=n_jobs)
         append_trajectory(args.append, entry)
+        json.dump(entry, sys.stdout, indent=2)
+        print()
+        return
+
+    if args.farm_append:
+        entry = farm_trajectory_entry(
+            args.pr,
+            runs=8 if args.quick else FARM_RUNS,
+            samples=1 if args.quick else FARM_SAMPLES,
+        )
+        append_trajectory(args.farm_append, entry, key="farm_history")
         json.dump(entry, sys.stdout, indent=2)
         print()
         return

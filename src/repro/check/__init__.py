@@ -38,6 +38,8 @@ from repro.check.runner import (
     fuzz,
     fuzz_engine_diff,
     run_engine_diff,
+    run_engine_diff_index,
+    run_fuzz_index,
     run_middleware,
     run_scenario,
     run_simulator,
@@ -47,6 +49,7 @@ from repro.check.scenario import (
     CheckTask,
     Scenario,
     ScenarioTask,
+    derive_run_seed,
     generate_scenario,
 )
 from repro.check.shrink import (
@@ -72,6 +75,8 @@ __all__ = [
     "fuzz",
     "fuzz_engine_diff",
     "run_engine_diff",
+    "run_engine_diff_index",
+    "run_fuzz_index",
     "run_middleware",
     "run_scenario",
     "run_simulator",
@@ -79,6 +84,7 @@ __all__ = [
     "CheckTask",
     "Scenario",
     "ScenarioTask",
+    "derive_run_seed",
     "generate_scenario",
     "load_artifact",
     "make_artifact",

@@ -313,6 +313,73 @@ def run_engine_diff(scenario, noise_seed=None, profile=None):
     return report
 
 
+def _index_payload(index, seed, report, scenario, shrink=False,
+                   profile=None):
+    """JSON-ready result of one batch run (what the farm ships home)."""
+    from repro.check.shrink import make_artifact, shrink_report
+
+    payload = {
+        "index": index,
+        "seed": seed,
+        "ok": report.ok,
+        "differential_ran": bool(report.differential_ran),
+        "summary": report.summary(),
+    }
+    if not report.ok:
+        shrink_runs = 0
+        if shrink:
+            with (profile or NullProfile()).section("check.shrink"):
+                scenario, shrink_runs = shrink_report(report)
+        payload["artifact"] = make_artifact(scenario, report,
+                                            shrink_runs=shrink_runs)
+    return payload
+
+
+def run_fuzz_index(base_seed, index, fault_rate=0.0, shrink=True,
+                   profile=None):
+    """Run ``index`` of a ``fuzz`` batch; farm-shardable.
+
+    The scenario seed comes from
+    :func:`~repro.check.scenario.derive_run_seed`, so the payload is a
+    pure function of ``(base_seed, index, fault_rate, shrink)`` — any
+    partition of a batch's indices across workers reproduces the
+    serial results exactly.
+    """
+    from repro.check.scenario import derive_run_seed, generate_scenario
+
+    seed = derive_run_seed(base_seed, index)
+    scenario = generate_scenario(seed, fault_rate=fault_rate)
+    try:
+        report = run_scenario(scenario, profile=profile)
+    except Exception as error:  # checker bug — report, don't hide
+        report = CheckReport(scenario)
+        report.crash = f"checker error {type(error).__name__}: {error}"
+    return _index_payload(index, seed, report, scenario, shrink=shrink,
+                          profile=profile)
+
+
+def run_engine_diff_index(base_seed, index, fault_rate=0.25,
+                          profile=None):
+    """Run ``index`` of an engine-diff batch; farm-shardable (see
+    :func:`run_fuzz_index`).  Engine-diff failures are not shrunk —
+    the artifact's value is the two backends' flight rings."""
+    from repro.check.scenario import (
+        ENGINE_DIFF_FAULT_SITE_MENU,
+        derive_run_seed,
+        generate_scenario,
+    )
+
+    seed = derive_run_seed(base_seed, index)
+    scenario = generate_scenario(seed, fault_rate=fault_rate,
+                                 fault_sites=ENGINE_DIFF_FAULT_SITE_MENU)
+    try:
+        report = run_engine_diff(scenario, profile=profile)
+    except Exception as error:  # checker bug — report, don't hide
+        report = CheckReport(scenario)
+        report.crash = f"checker error {type(error).__name__}: {error}"
+    return _index_payload(index, seed, report, scenario)
+
+
 def fuzz_engine_diff(n_runs, seed=0, fault_rate=0.25, max_failures=5,
                      on_progress=None, profile=None):
     """Run ``n_runs`` generated scenarios through the engine
@@ -323,32 +390,19 @@ def fuzz_engine_diff(n_runs, seed=0, fault_rate=0.25, max_failures=5,
     is non-zero and the menu includes the hardware sites
     (:data:`repro.check.scenario.ENGINE_DIFF_FAULT_SITE_MENU`).
     """
-    from repro.check.scenario import (
-        ENGINE_DIFF_FAULT_SITE_MENU,
-        generate_scenario,
-    )
-    from repro.check.shrink import make_artifact
-
     failures = []
     runs = 0
     differential_runs = 0
-    for current in range(seed, seed + n_runs):
-        scenario = generate_scenario(
-            current, fault_rate=fault_rate,
-            fault_sites=ENGINE_DIFF_FAULT_SITE_MENU,
-        )
-        try:
-            report = run_engine_diff(scenario, profile=profile)
-        except Exception as error:  # checker bug — report, don't hide
-            report = CheckReport(scenario)
-            report.crash = f"checker error {type(error).__name__}: {error}"
+    for index in range(n_runs):
+        payload = run_engine_diff_index(seed, index,
+                                        fault_rate=fault_rate,
+                                        profile=profile)
         runs += 1
-        differential_runs += report.differential_ran
-        if not report.ok:
-            failures.append(make_artifact(scenario, report,
-                                          shrink_runs=0))
+        differential_runs += payload["differential_ran"]
+        if not payload["ok"]:
+            failures.append(payload["artifact"])
         if on_progress is not None:
-            on_progress(current, report)
+            on_progress(payload["seed"], payload)
         if len(failures) >= max_failures:
             break
     return {
@@ -360,44 +414,41 @@ def fuzz_engine_diff(n_runs, seed=0, fault_rate=0.25, max_failures=5,
 
 def fuzz(n_runs, seed=0, fault_rate=0.0, shrink=True, max_failures=5,
          on_progress=None, profile=None):
-    """Run ``n_runs`` generated scenarios starting at ``seed``.
+    """Run ``n_runs`` generated scenarios derived from ``seed``.
+
+    Run ``k``'s scenario seed is ``derive_run_seed(seed, k)`` — an
+    independent, order-free stream per run (see
+    :mod:`repro.check.scenario`), so this serial loop and the farmed
+    version (``repro.farm.farm_check``) execute identical scenarios.
 
     :param shrink: minimize each failing scenario and attach a repro
         artifact (:func:`repro.check.shrink.make_artifact`).
-    :param max_failures: stop early after this many failures.
-    :param on_progress: optional ``f(seed, report)`` callback.
+    :param max_failures: stop early after this many failures.  (The
+        farm disables the early stop and truncates after the merge
+        instead, keeping its report worker-count invariant.)
+    :param on_progress: optional ``f(seed, payload)`` callback —
+        ``payload`` is the JSON-ready per-run result (``ok``,
+        ``summary``, ``artifact`` on failure).
     :param profile: optional
         :class:`~repro.obs.profile.WallClockProfile` shared by every
         run (``check.*`` sections; shrinking adds ``check.shrink``).
     :returns: dict with ``runs``, ``failures`` (list of artifacts) and
         ``differential_runs`` counts.
     """
-    from repro.check.scenario import generate_scenario
-    from repro.check.shrink import make_artifact, shrink_report
-
     if profile is None:
         profile = NullProfile()
     failures = []
     differential_runs = 0
     runs = 0
-    for current in range(seed, seed + n_runs):
-        scenario = generate_scenario(current, fault_rate=fault_rate)
-        try:
-            report = run_scenario(scenario, profile=profile)
-        except Exception as error:  # checker bug — report, don't hide
-            report = CheckReport(scenario)
-            report.crash = f"checker error {type(error).__name__}: {error}"
+    for index in range(n_runs):
+        payload = run_fuzz_index(seed, index, fault_rate=fault_rate,
+                                 shrink=shrink, profile=profile)
         runs += 1
-        differential_runs += report.differential_ran
-        if not report.ok:
-            shrink_runs = 0
-            if shrink:
-                with profile.section("check.shrink"):
-                    scenario, shrink_runs = shrink_report(report)
-            failures.append(make_artifact(scenario, report,
-                                          shrink_runs=shrink_runs))
+        differential_runs += payload["differential_ran"]
+        if not payload["ok"]:
+            failures.append(payload["artifact"])
         if on_progress is not None:
-            on_progress(current, report)
+            on_progress(payload["seed"], payload)
         if len(failures) >= max_failures:
             break
     return {

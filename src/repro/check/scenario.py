@@ -77,6 +77,25 @@ ENGINE_DIFF_FAULT_SITE_MENU = FAULT_SITE_MENU + ("cpu_stall",
                                                  "core_throttle")
 
 
+def derive_run_seed(base_seed, index):
+    """Independent scenario seed for run ``index`` of a batch.
+
+    Batches used to seed run ``k`` with ``base_seed + k``: adjacent
+    batches overlapped almost entirely (base 5 and base 6 share 49 of
+    50 scenario streams) and a run's identity leaked out of its own
+    index.  Deriving through ``SeedSequence(entropy=base_seed,
+    spawn_key=(index,))`` makes run ``k``'s stream a pure, well-mixed
+    function of ``(base_seed, index)`` — equivalent to
+    ``SeedSequence(base_seed).spawn(n)[k]`` but computable for any
+    ``k`` in isolation, which is what lets the farm hand indices to
+    workers in any partition without perturbing a single scenario
+    (``docs/FARM.md``).  Pinned by ``tests/farm/test_seeds.py``.
+    """
+    sequence = np.random.SeedSequence(entropy=int(base_seed),
+                                      spawn_key=(int(index),))
+    return int(sequence.generate_state(1, np.uint32)[0])
+
+
 class ScenarioTask:
     """One parallel-extended task of a scenario (data only).
 

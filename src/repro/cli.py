@@ -42,6 +42,12 @@ Commands
     theory simulator and the middleware simkernel, compared in
     lockstep and checked against trace oracles; failures are shrunk to
     replayable JSON repro artifacts (see docs/CHECKING.md).
+
+``farm``
+    Run a check batch, engine-diff batch, or fault campaign through
+    the parallel scenario farm with a live per-worker status line; the
+    merged report is byte-identical at any ``--workers`` count (see
+    docs/FARM.md).
 """
 
 import argparse
@@ -180,6 +186,11 @@ def _add_faults_parser(subparsers):
                              "directory at every failure edge "
                              "(invariant violation, degraded-mode "
                              "entry, watchdog fire)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="run the campaign through the scenario "
+                             "farm with this many worker processes; "
+                             "the report bytes are identical at any "
+                             "worker count (docs/FARM.md)")
 
 
 def _add_engine_argument(parser):
@@ -197,7 +208,9 @@ def _add_check_parser(subparsers):
     parser.add_argument("--runs", type=int, default=100,
                         help="number of generated scenarios")
     parser.add_argument("--seed", type=int, default=0,
-                        help="first scenario seed (then seed+1, ...)")
+                        help="batch seed; run k's scenario seed is "
+                             "derived independently as "
+                             "derive_run_seed(seed, k)")
     parser.add_argument("--fault-rate", type=float, default=None,
                         help="fraction of scenarios carrying a fault "
                              "plan (default 0; oracle checks only, no "
@@ -220,6 +233,45 @@ def _add_check_parser(subparsers):
                              "and the probe streams must be "
                              "byte-identical (fault plans allowed, "
                              "default fault rate 0.25)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run the batch through the scenario farm "
+                             "with this many worker processes; the "
+                             "merged report is byte-identical at any "
+                             "worker count (docs/FARM.md)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the farm's merged JSON report "
+                             "here (implies the farm path; see "
+                             "--workers)")
+
+
+def _add_farm_parser(subparsers):
+    parser = subparsers.add_parser(
+        "farm", help="parallel scenario farm with live worker status"
+    )
+    parser.add_argument("--what", default="check",
+                        choices=["check", "engine-diff", "faults"],
+                        help="which batch to farm out")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--runs", type=int, default=50,
+                        help="scenarios per batch (check/engine-diff)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fault-rate", type=float, default=None,
+                        help="check/engine-diff fault rate (defaults "
+                             "0 / 0.25)")
+    parser.add_argument("--scenario", default="all",
+                        help="campaign scenarios (faults): name, "
+                             "comma-separated names, or 'all'")
+    parser.add_argument("--seconds", type=int, default=12,
+                        help="trading duration per campaign scenario")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        help="seconds of worker silence before the "
+                             "parent declares a hang")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="dump the farm flight ring here on "
+                             "quarantine")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the merged JSON report here "
+                             "instead of stdout")
 
 
 def _load_from_name(name):
@@ -496,6 +548,77 @@ def cmd_report(args, out):
     return 0
 
 
+class _FarmProgress:
+    """Render ``farm.*`` lifecycle events as a per-worker status line.
+
+    On a TTY the line is rewritten in place (``\\r``); otherwise only
+    the milestone events print (start, shard completions, losses,
+    retries, quarantines), keeping CI logs readable.
+    """
+
+    def __init__(self, out):
+        self.out = out
+        self.tty = getattr(out, "isatty", lambda: False)()
+        self.sizes = []
+        self.done = {}
+
+    def _status(self):
+        workers = " ".join(
+            f"w{shard}:{self.done.get(shard, 0)}/{size}"
+            for shard, size in enumerate(self.sizes)
+        )
+        total = sum(self.done.values())
+        return f"farm: {workers} ({total}/{sum(self.sizes)} items)"
+
+    def _line(self, text):
+        if self.tty:
+            self.out.write("\r\x1b[K")
+        print(text, file=self.out)
+
+    def __call__(self, topic, data):
+        if topic == "farm.start":
+            self.sizes = list(data["shard_sizes"])
+            self.done = {}
+            self._line(f"farm: {data['items']} item(s) across "
+                       f"{data['workers']} worker(s), shard sizes "
+                       f"{self.sizes}")
+        elif topic == "farm.item_done":
+            shard = data["shard"]
+            self.done[shard] = self.done.get(shard, 0) + 1
+            if self.tty:
+                self.out.write("\r\x1b[K" + self._status())
+                self.out.flush()
+        elif topic == "farm.shard_done":
+            self._line(f"farm: shard {data['shard']} done "
+                       f"({self.done.get(data['shard'], 0)} item(s))")
+        elif topic == "farm.worker_lost":
+            self._line(f"farm: worker lost on shard {data['shard']} "
+                       f"({data['reason']}, attempt {data['attempt']}, "
+                       f"{data['pending']} item(s) pending)")
+        elif topic == "farm.retry":
+            self._line(f"farm: retrying shard {data['shard']} on a "
+                       f"fresh process (attempt {data['attempt']}, "
+                       f"{data['items']} item(s))")
+        elif topic == "farm.quarantine":
+            self._line(f"farm: QUARANTINED shard {data['shard']} "
+                       f"({data['reason']}); unfinished indices "
+                       f"{data['indices']}")
+        elif topic == "farm.done":
+            self._line(self._status())
+
+
+def _farm_status(result, out):
+    stats = result.stats
+    print(
+        f"farm: {stats['completed']}/{stats['items']} item(s), "
+        f"{stats['workers']} worker(s) ({stats['start_method']}), "
+        f"{stats['retries']} retr{'y' if stats['retries'] == 1 else 'ies'}, "
+        f"{stats['quarantined_shards']} quarantined, "
+        f"{stats['wall_seconds']}s",
+        file=out,
+    )
+
+
 def cmd_faults(args, out):
     from repro.faults.campaign import (
         SCENARIOS,
@@ -517,8 +640,21 @@ def cmd_faults(args, out):
             print(f"unknown scenario(s): {', '.join(unknown)} "
                   f"(try --list)", file=out)
             return 2
-    report = run_campaign(scenarios=names, n_seconds=args.seconds,
-                          seed=args.seed, flight_dir=args.flight_dir)
+    quarantined = False
+    if args.workers > 1:
+        from repro.farm import farm_campaign
+
+        report, farm_result = farm_campaign(
+            scenarios=names, n_seconds=args.seconds, seed=args.seed,
+            workers=args.workers, flight_dir=args.flight_dir,
+            on_event=_FarmProgress(out),
+        )
+        quarantined = bool(farm_result.quarantined
+                           or report.get("incomplete"))
+    else:
+        report = run_campaign(scenarios=names, n_seconds=args.seconds,
+                              seed=args.seed,
+                              flight_dir=args.flight_dir)
     rendered = render_report(report)
     if args.out:
         with open(args.out, "w") as handle:
@@ -528,7 +664,7 @@ def cmd_faults(args, out):
               f"{args.out}", file=out)
     else:
         out.write(rendered)
-    return 0
+    return 2 if quarantined else 0
 
 
 def cmd_check(args, out):
@@ -552,29 +688,54 @@ def cmd_check(args, out):
             return 1
         return 0
 
-    def progress(seed, report):
-        if not report.ok:
-            print(f"seed {seed}: FAIL — {report.summary()}", file=out)
+    quarantined = False
+    if args.workers is not None or args.out:
+        from repro.farm import farm_check, render_check_report
 
-    if args.engine_diff:
-        result = fuzz_engine_diff(
+        document, farm_result = farm_check(
             args.runs,
             seed=args.seed,
-            fault_rate=(0.25 if args.fault_rate is None
-                        else args.fault_rate),
-            max_failures=args.max_failures,
-            on_progress=progress,
-        )
-    else:
-        result = fuzz(
-            args.runs,
-            seed=args.seed,
-            fault_rate=(0.0 if args.fault_rate is None
-                        else args.fault_rate),
+            fault_rate=args.fault_rate,
             shrink=args.shrink,
+            engine_diff=args.engine_diff,
             max_failures=args.max_failures,
-            on_progress=progress,
+            workers=args.workers or 1,
         )
+        quarantined = bool(farm_result.quarantined)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(render_check_report(document))
+            print(f"wrote farm report to {args.out}", file=out)
+        result = {
+            "runs": document["completed_runs"],
+            "differential_runs": document["differential_runs"],
+            "failures": document["failures"],
+        }
+    else:
+        def progress(seed, payload):
+            if not payload["ok"]:
+                print(f"seed {seed}: FAIL — {payload['summary']}",
+                      file=out)
+
+        if args.engine_diff:
+            result = fuzz_engine_diff(
+                args.runs,
+                seed=args.seed,
+                fault_rate=(0.25 if args.fault_rate is None
+                            else args.fault_rate),
+                max_failures=args.max_failures,
+                on_progress=progress,
+            )
+        else:
+            result = fuzz(
+                args.runs,
+                seed=args.seed,
+                fault_rate=(0.0 if args.fault_rate is None
+                            else args.fault_rate),
+                shrink=args.shrink,
+                max_failures=args.max_failures,
+                on_progress=progress,
+            )
     failures = result["failures"]
     if args.artifacts and failures:
         import os
@@ -592,7 +753,57 @@ def cmd_check(args, out):
         f"{len(failures)} failure(s)",
         file=out,
     )
+    if quarantined:
+        return 2
     return 1 if failures else 0
+
+
+def cmd_farm(args, out):
+    from repro.farm import (
+        DEFAULT_HEARTBEAT,
+        farm_campaign,
+        farm_check,
+        render_check_report,
+    )
+
+    progress = _FarmProgress(out)
+    heartbeat = (DEFAULT_HEARTBEAT if args.heartbeat is None
+                 else args.heartbeat)
+    if args.what == "faults":
+        from repro.faults.campaign import SCENARIOS, render_report
+
+        names = None
+        if args.scenario != "all":
+            names = [name.strip() for name in args.scenario.split(",")]
+            unknown = [name for name in names if name not in SCENARIOS]
+            if unknown:
+                print(f"unknown scenario(s): {', '.join(unknown)}",
+                      file=out)
+                return 2
+        document, farm_result = farm_campaign(
+            scenarios=names, n_seconds=args.seconds, seed=args.seed,
+            workers=args.workers, heartbeat=heartbeat,
+            flight_dir=args.flight_dir, on_event=progress,
+        )
+        rendered = render_report(document)
+        failed = bool(document.get("incomplete"))
+    else:
+        document, farm_result = farm_check(
+            args.runs, seed=args.seed, fault_rate=args.fault_rate,
+            engine_diff=args.what == "engine-diff",
+            workers=args.workers, heartbeat=heartbeat,
+            flight_dir=args.flight_dir, on_event=progress,
+        )
+        rendered = render_check_report(document)
+        failed = bool(document["total_failures"] or document["errors"])
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote merged report to {args.out}", file=out)
+    _farm_status(farm_result, out)
+    if farm_result.quarantined:
+        return 2
+    return 1 if failed else 0
 
 
 _COMMANDS = {
@@ -606,6 +817,7 @@ _COMMANDS = {
     "report": cmd_report,
     "faults": cmd_faults,
     "check": cmd_check,
+    "farm": cmd_farm,
 }
 
 
@@ -626,6 +838,7 @@ def build_parser():
     _add_report_parser(subparsers)
     _add_faults_parser(subparsers)
     _add_check_parser(subparsers)
+    _add_farm_parser(subparsers)
     return parser
 
 

@@ -1,0 +1,44 @@
+"""Deterministic seed partitioning for the scenario farm.
+
+The farm's determinism contract starts here: work items are identified
+by their *index* in the batch (0..n-1), each index's work derives from
+``derive_run_seed``-style functions of ``(base_seed, index)`` alone,
+and :func:`partition_shards` splits the index space into per-worker
+shards purely arithmetically.  Results are merged back in index order,
+so the merged report cannot depend on the worker count or on which
+worker finished first — see ``docs/FARM.md``.
+
+Shards are round-robin stripes (worker ``w`` gets indices ``w, w+W,
+w+2W, ...``): adjacent indices land on different workers, which spreads
+expensive scenarios evenly without any runtime coordination.
+"""
+
+
+def partition_shards(n_items, n_workers):
+    """Split ``range(n_items)`` into ``n_workers`` round-robin shards.
+
+    Properties (enforced by ``tests/farm/test_partition.py``):
+
+    * **disjoint exact cover** — every index appears in exactly one
+      shard;
+    * **stable order** — each shard is strictly increasing, and
+      re-merging shard results by index yields the same order for any
+      worker count;
+    * **empty shards are legal** — with more workers than items the
+      trailing shards are simply ``[]`` (the farm skips spawning them).
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return [list(range(worker, n_items, n_workers))
+            for worker in range(n_workers)]
+
+
+def shard_of(index, n_workers):
+    """The shard an index lands in (inverse of the striping rule)."""
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return index % n_workers

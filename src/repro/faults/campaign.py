@@ -23,6 +23,7 @@ from repro.faults.injectors import FaultInjector
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.obs.flightrec import FlightRecorder
 from repro.obs.profile import NullProfile
+from repro.obs.report import RunReport
 from repro.simkernel.time_units import MSEC, SEC
 from repro.trading.network import NetworkModel
 from repro.trading.system import RealTimeTradingSystem
@@ -261,6 +262,10 @@ def run_scenario(name, n_seconds=30, seed=0, flight_dir=None,
         "rejected": summary["rejected"],
         "equity": summary["equity"],
         "broker_failures": len(task.broker_failures),
+        "run_report": RunReport.collect(
+            kernel, injector=injector, watchdog=watchdog,
+            degrade=degrade, include_wallclock=False,
+        ).to_dict(),
     }
     if watchdog is not None:
         result["watchdog_fires"] = len(watchdog.fired)
@@ -275,6 +280,29 @@ def run_scenario(name, n_seconds=30, seed=0, flight_dir=None,
     return result
 
 
+def assemble_campaign(names, n_seconds, seed, results):
+    """Build the campaign document from per-scenario result dicts.
+
+    Shared by the serial sweep (:func:`run_campaign`) and the farmed
+    one (``repro.farm.farm_campaign``) so both emit byte-identical
+    reports for the same scenario results.  The top-level
+    ``run_report`` merges every scenario's per-run telemetry
+    (:meth:`repro.obs.report.RunReport.merge`).
+    """
+    scenarios = dict(zip(names, results))
+    document = {
+        "campaign": "rtseed-resilience",
+        "seed": seed,
+        "n_seconds": n_seconds,
+        "scenarios": scenarios,
+    }
+    run_reports = [result["run_report"] for result in results
+                   if "run_report" in result]
+    if run_reports:
+        document["run_report"] = RunReport.merge(run_reports).to_dict()
+    return document
+
+
 def run_campaign(scenarios=None, n_seconds=30, seed=0, flight_dir=None,
                  profile=None):
     """Sweep ``scenarios`` (default: all) into one resilience report.
@@ -283,16 +311,12 @@ def run_campaign(scenarios=None, n_seconds=30, seed=0, flight_dir=None,
     :func:`run_scenario`; neither affects the report bytes.
     """
     names = list(scenarios) if scenarios else sorted(SCENARIOS)
-    return {
-        "campaign": "rtseed-resilience",
-        "seed": seed,
-        "n_seconds": n_seconds,
-        "scenarios": {
-            name: run_scenario(name, n_seconds=n_seconds, seed=seed,
-                               flight_dir=flight_dir, profile=profile)
-            for name in names
-        },
-    }
+    results = [
+        run_scenario(name, n_seconds=n_seconds, seed=seed,
+                     flight_dir=flight_dir, profile=profile)
+        for name in names
+    ]
+    return assemble_campaign(names, n_seconds, seed, results)
 
 
 def render_report(report):

@@ -136,7 +136,15 @@ class FlightRecorder:
         """Subscribe passively to the kernel's bus and register as its
         ``probes.flight`` recorder; returns ``self``."""
         self._kernel = kernel
-        bus = kernel.probes
+        return self.wire_bus(kernel.probes)
+
+    def wire_bus(self, bus):
+        """Subscribe passively to a bare :class:`~repro.obs.bus.\
+ProbeBus` with no kernel behind it; returns ``self``.
+
+        Used by publishers that own their event stream outright — the
+        scenario farm records its ``farm.*`` lifecycle this way.  Dumps
+        carry ``null`` in place of the kernel state summary."""
         bus.subscribe(self._on_event, passive=True)
         bus.flight = self
         self._bus = bus

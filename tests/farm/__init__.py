@@ -1,0 +1,1 @@
+"""Tests for the parallel scenario farm (repro.farm)."""

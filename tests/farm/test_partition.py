@@ -1,0 +1,78 @@
+"""Property tests for the farm's static shard partition.
+
+The partition is the first leg of the worker-count-invariance
+contract (docs/FARM.md): shards must be a disjoint exact cover of the
+item indices, each shard internally ascending, and the item -> shard
+map a pure function of ``(index, n_workers)``.  Hypothesis sweeps the
+(n_items, n_workers) space, including the degenerate corners (empty
+batches, more workers than items — empty shards are legal).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.farm.partition import partition_shards, shard_of
+
+pytestmark = pytest.mark.tier1
+
+counts = st.integers(min_value=0, max_value=200)
+workers = st.integers(min_value=1, max_value=32)
+
+
+@settings(max_examples=200, deadline=None)
+@given(n_items=counts, n_workers=workers)
+def test_disjoint_exact_cover(n_items, n_workers):
+    shards = partition_shards(n_items, n_workers)
+    assert len(shards) == n_workers
+    flat = [index for shard in shards for index in shard]
+    assert sorted(flat) == list(range(n_items))
+    assert len(flat) == len(set(flat))
+
+
+@settings(max_examples=200, deadline=None)
+@given(n_items=counts, n_workers=workers)
+def test_shards_internally_ascending(n_items, n_workers):
+    for shard in partition_shards(n_items, n_workers):
+        assert shard == sorted(shard)
+
+
+@settings(max_examples=200, deadline=None)
+@given(n_items=counts, n_workers=workers)
+def test_shard_of_matches_partition(n_items, n_workers):
+    shards = partition_shards(n_items, n_workers)
+    for shard_id, shard in enumerate(shards):
+        for index in shard:
+            assert shard_of(index, n_workers) == shard_id
+
+
+@settings(max_examples=200, deadline=None)
+@given(n_items=counts, n_workers=workers)
+def test_balanced_within_one(n_items, n_workers):
+    sizes = [len(shard) for shard in partition_shards(n_items, n_workers)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == n_items
+
+
+@settings(max_examples=100, deadline=None)
+@given(n_items=st.integers(min_value=0, max_value=64),
+       n_workers=workers)
+def test_merge_order_stable_under_worker_count(n_items, n_workers):
+    # index-sorted concatenation of any partition is the serial order
+    shards = partition_shards(n_items, n_workers)
+    merged = sorted(index for shard in shards for index in shard)
+    assert merged == list(range(n_items))
+
+
+def test_empty_shards_legal():
+    shards = partition_shards(2, 5)
+    assert shards == [[0], [1], [], [], []]
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        partition_shards(-1, 2)
+    with pytest.raises(ValueError):
+        partition_shards(4, 0)
+    with pytest.raises(ValueError):
+        shard_of(0, 0)

@@ -142,3 +142,90 @@ def test_repr_names_sections():
     kernel, _metrics = small_run(with_metrics=False)
     report = RunReport.collect(kernel)
     assert "engine" in repr(report)
+
+
+def test_merge_sums_counts_and_maxes_peaks():
+    shard_a = {
+        "schema": RUN_REPORT_SCHEMA,
+        "engine": {
+            "backend": "reference",
+            "now": 100,
+            "counters": {
+                "events_processed": 10,
+                "peak_heap_size": 7,
+                "by_priority": {"99": {"scheduled": 4}},
+            },
+        },
+        "queues": {
+            "cpu0": {"cpu": 0, "depth": 1, "peak_depth": 3,
+                     "level_peaks": {"99": 2}},
+        },
+        "faults": {"injected": {"net_timeout": 2},
+                   "watchdog_fires": 1,
+                   "degraded": {"active": False, "episodes": 1,
+                                "shed_jobs": 4}},
+        "metrics": {"dropme": 1},
+        "wallclock": {"dropme": 1},
+    }
+    shard_b = {
+        "schema": RUN_REPORT_SCHEMA,
+        "engine": {
+            "backend": "reference",
+            "now": 50,
+            "counters": {
+                "events_processed": 5,
+                "peak_heap_size": 9,
+                "by_priority": {"99": {"scheduled": 1}},
+            },
+        },
+        "queues": {
+            "cpu0": {"cpu": 0, "depth": 0, "peak_depth": 8,
+                     "level_peaks": {"99": 5, "98": 1}},
+        },
+        "faults": {"injected": {"net_timeout": 3, "feed_gap": 1},
+                   "watchdog_fires": 0,
+                   "degraded": {"active": True, "episodes": 2,
+                                "shed_jobs": 1}},
+    }
+    merged = RunReport.merge([shard_a, shard_b]).to_dict()
+    assert merged["shards"] == 2
+    engine = merged["engine"]
+    assert engine["backend"] == "reference"
+    assert engine["now"] == 150  # total simulated time across shards
+    assert engine["counters"]["events_processed"] == 15
+    assert engine["counters"]["peak_heap_size"] == 9  # max, not sum
+    assert engine["counters"]["by_priority"]["99"]["scheduled"] == 5
+    queue = merged["queues"]["cpu0"]
+    assert queue["cpu"] == 0  # identity, not summed
+    assert queue["depth"] == 1
+    assert queue["peak_depth"] == 8
+    assert queue["level_peaks"] == {"99": 5, "98": 1}
+    faults = merged["faults"]
+    assert faults["injected"] == {"net_timeout": 5, "feed_gap": 1}
+    assert faults["watchdog_fires"] == 1
+    assert faults["degraded"] == {"active": True, "episodes": 3,
+                                  "shed_jobs": 5}
+    # per-shard-only sections never survive the merge
+    assert "metrics" not in merged
+    assert "wallclock" not in merged
+
+
+def test_merge_mixed_backends_and_instances():
+    kernel, _ = small_run(with_metrics=False)
+    report = RunReport.collect(kernel)
+    other = json.loads(json.dumps(report.to_dict()))
+    other["engine"]["backend"] = "fast"
+    merged = RunReport.merge([report, other]).to_dict()
+    assert merged["engine"]["backend"] == "mixed"
+    assert merged["engine"]["counters"]["events_processed"] == 2 * (
+        report.sections["engine"]["counters"]["events_processed"]
+    )
+
+
+def test_merge_is_deterministic_json():
+    kernel, _ = small_run(with_metrics=False)
+    report = RunReport.collect(kernel).to_dict()
+    first = RunReport.merge([report, report]).to_json()
+    second = RunReport.merge([report, report]).to_json()
+    assert first == second
+    json.loads(first)  # valid JSON document

@@ -67,6 +67,34 @@ def test_every_engine_has_a_recent_pair():
     assert {"reference", "fast"} <= engines
 
 
+#: farm_history length when the farm bench landed; append-only too.
+MIN_FARM_HISTORY_ENTRIES = 1
+
+REQUIRED_FARM_ENTRY_KEYS = {"pr", "seed", "workload", "farm"}
+
+
+def test_farm_history_parses_against_schema():
+    farm_history = load_bench()["farm_history"]
+    assert isinstance(farm_history, list)
+    assert len(farm_history) >= MIN_FARM_HISTORY_ENTRIES, (
+        "farm_history shrank — BENCH_engine.json is append-only"
+    )
+    for entry in farm_history:
+        missing = REQUIRED_FARM_ENTRY_KEYS - set(entry)
+        assert not missing, f"entry {entry.get('pr')} missing {missing}"
+        assert entry["workload"] == "farm_check"
+        farm = entry["farm"]
+        assert farm["runs"] > 0
+        # cpus is mandatory context: a speedup number is meaningless
+        # without the core count it was measured on
+        assert farm["cpus"] >= 1
+        assert set(farm["scenarios_per_sec"]) == set(farm["speedup"])
+        assert {"1", "2", "4"} <= set(farm["scenarios_per_sec"])
+        for rate in farm["scenarios_per_sec"].values():
+            assert rate > 0
+        assert farm["speedup"]["1"] == pytest.approx(1.0)
+
+
 def test_bench_report_renders_without_regression(capsys):
     bench_report = load_bench_report_module()
     regressions = bench_report.render_trajectory(load_bench())
