@@ -24,6 +24,12 @@ JSON blob suitable for committing as ``BENCH_engine.json``:
   same ``farm_check`` batch at 1/2/4 workers, recorded as
   scenarios/sec + speedup in the ``farm_history`` list with the host
   ``cpus`` count (speedup is meaningless without it).
+* ``--snapshot-append`` — checkpoint/restore cost (``repro.snapshot``,
+  ``snapshot_history`` list): the same ``farm_check`` batch with and
+  without a ``--checkpoint`` file (the no-checkpoint path must stay
+  within noise of the pre-checkpoint farm — that code path pays only a
+  ``None`` test per item), plus the one-off cost and byte size of
+  capturing + writing an ``rtseed-snapshot/1`` of a trade run.
 
 Usage::
 
@@ -312,6 +318,94 @@ def farm_trajectory_entry(pr, runs=FARM_RUNS,
     }
 
 
+SNAPSHOT_FARM_RUNS = 24
+SNAPSHOT_SAMPLES = 3
+SNAPSHOT_BARRIER = 400
+
+
+def bench_snapshot_overhead(runs=SNAPSHOT_FARM_RUNS,
+                            samples=SNAPSHOT_SAMPLES, engine=None):
+    """Checkpoint/restore cost: inline farm overhead + capture cost.
+
+    Two numbers matter.  The *inline* cost — a ``farm_check`` batch
+    with a per-item checkpoint file (flush + fsync per item) vs the
+    same batch without one; the no-checkpoint rate must stay within
+    noise of the pre-checkpoint farm, since that path only pays a
+    ``None`` test per item.  And the *one-off* cost — capturing an
+    ``rtseed-snapshot/1`` of a mid-flight trade run and writing it to
+    disk, reported in milliseconds and bytes (restore cost is prefix
+    re-execution by design, see docs/SNAPSHOTS.md, so it is not a
+    separate measurement).
+    """
+    import os
+    import tempfile
+
+    from repro.farm import farm_check
+    from repro.snapshot import build_program, snapshot, write_snapshot
+
+    def farm_rate(checkpoint_path):
+        rates = []
+        for _ in range(samples):
+            if checkpoint_path and os.path.exists(checkpoint_path):
+                os.remove(checkpoint_path)
+            start = time.perf_counter()
+            document, result = farm_check(
+                runs, seed=0, shrink=False, workers=1,
+                checkpoint_path=checkpoint_path,
+            )
+            elapsed = time.perf_counter() - start
+            assert result.ok and document["completed_runs"] == runs
+            rates.append(runs / elapsed)
+        rates.sort()
+        return rates[len(rates) // 2]
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        plain = farm_rate(None)
+        checkpointed = farm_rate(os.path.join(tmp_dir, "farm.ckpt"))
+
+        spec = {"kind": "trade", "seconds": 8, "seed": 3,
+                "engine": engine}
+        run = build_program(spec).start()
+        start = time.perf_counter()
+        document = snapshot(run, at_events=SNAPSHOT_BARRIER)
+        capture_secs = time.perf_counter() - start
+        path = os.path.join(tmp_dir, "snap.json")
+        start = time.perf_counter()
+        write_snapshot(path, document)
+        write_secs = time.perf_counter() - start
+        file_bytes = os.path.getsize(path)
+
+    return {
+        "farm_runs": runs,
+        "samples": samples,
+        "no_checkpoint_scenarios_per_sec": round(plain, 1),
+        "checkpoint_scenarios_per_sec": round(checkpointed, 1),
+        "checkpoint_overhead_pct": round(
+            (plain / checkpointed - 1.0) * 100.0, 1
+        ),
+        "capture": {
+            "barrier_events": SNAPSHOT_BARRIER,
+            "capture_ms": round(capture_secs * 1000.0, 2),
+            "write_ms": round(write_secs * 1000.0, 2),
+            "file_bytes": file_bytes,
+        },
+    }
+
+
+def snapshot_trajectory_entry(pr, runs=SNAPSHOT_FARM_RUNS,
+                              samples=SNAPSHOT_SAMPLES, engine=None):
+    """Snapshot-overhead measurement shaped for the
+    ``BENCH_engine.json`` ``snapshot_history`` list."""
+    return {
+        "pr": pr,
+        "seed": 0,
+        "workload": "farm_check+trade_snapshot",
+        "engine": engine or "default",
+        "snapshot": bench_snapshot_overhead(runs=runs, samples=samples,
+                                            engine=engine),
+    }
+
+
 def append_trajectory(path, entry, key="history"):
     """Append ``entry`` to the ``key`` list in ``path``.
 
@@ -342,6 +436,12 @@ def main(argv=None):
                         help="append a scenario-farm throughput entry "
                              "(scenarios/sec at 1/2/4 workers) to this "
                              "BENCH_engine.json's farm_history list")
+    parser.add_argument("--snapshot-append", default=None,
+                        metavar="JSON",
+                        help="append a checkpoint/restore overhead "
+                             "entry (farm checkpoint cost + snapshot "
+                             "capture cost) to this BENCH_engine.json's "
+                             "snapshot_history list")
     parser.add_argument("--pr", default="unlabeled",
                         help="PR identifier recorded in the trajectory "
                              "entry (with --append)")
@@ -370,6 +470,19 @@ def main(argv=None):
             samples=1 if args.quick else FARM_SAMPLES,
         )
         append_trajectory(args.farm_append, entry, key="farm_history")
+        json.dump(entry, sys.stdout, indent=2)
+        print()
+        return
+
+    if args.snapshot_append:
+        entry = snapshot_trajectory_entry(
+            args.pr,
+            runs=8 if args.quick else SNAPSHOT_FARM_RUNS,
+            samples=1 if args.quick else SNAPSHOT_SAMPLES,
+            engine=args.engine,
+        )
+        append_trajectory(args.snapshot_append, entry,
+                          key="snapshot_history")
         json.dump(entry, sys.stdout, indent=2)
         print()
         return

@@ -89,22 +89,20 @@ class CheckReport:
         return f"<CheckReport {self.summary()}>"
 
 
-def run_middleware(scenario, collect_kernel_events=True, engine=None,
-                   cost_model="zero", noise_seed=0):
-    """One middleware run of ``scenario``.
+def build_middleware(scenario, collect_kernel_events=True, engine=None,
+                     cost_model="zero", noise_seed=0):
+    """Build (don't run) the middleware stack for ``scenario``.
 
-    :param engine: execution-core backend (``"reference"`` / ``"fast"``
-        / ``None`` for the process default) — see
-        :mod:`repro.engine.backend`.
-    :param cost_model: passed to :class:`~repro.core.middleware.RTSeed`;
-        the conformance oracles use ``"zero"`` (costs would diverge from
-        the theory simulator), the engine differential uses
-        ``"xeonphi"`` so the noisy cost path is exercised too.
-    :param noise_seed: cost-model noise seed (``"xeonphi"`` only).
-    :returns: ``(events, kernel, crash)`` — the recorded probe events,
-        the kernel (for post-run state oracles) and the crash message
-        (``None`` on a clean run).
+    Shared by :func:`run_middleware` (which runs it to completion) and
+    the snapshot layer's ``check`` program (which drives the engine to
+    a barrier first — check-artifact time-travel).
+
+    :returns: ``(middleware, events)`` — the constructed
+        :class:`~repro.core.middleware.RTSeed` (not yet started) and
+        the live list its probe subscriber appends recorded events to.
     """
+    if isinstance(scenario, dict):
+        scenario = Scenario.from_dict(scenario)
     topology = Topology(scenario.n_cpus, 1, share_fn=uniform_share,
                         background_weight=0.0)
     middleware = RTSeed(topology=topology, cost_model=cost_model,
@@ -137,7 +135,29 @@ def run_middleware(scenario, collect_kernel_events=True, engine=None,
     plan = scenario.build_fault_plan()
     if plan is not None:
         FaultInjector(plan).attach(middleware.kernel)
+    return middleware, events
 
+
+def run_middleware(scenario, collect_kernel_events=True, engine=None,
+                   cost_model="zero", noise_seed=0):
+    """One middleware run of ``scenario``.
+
+    :param engine: execution-core backend (``"reference"`` / ``"fast"``
+        / ``None`` for the process default) — see
+        :mod:`repro.engine.backend`.
+    :param cost_model: passed to :class:`~repro.core.middleware.RTSeed`;
+        the conformance oracles use ``"zero"`` (costs would diverge from
+        the theory simulator), the engine differential uses
+        ``"xeonphi"`` so the noisy cost path is exercised too.
+    :param noise_seed: cost-model noise seed (``"xeonphi"`` only).
+    :returns: ``(events, kernel, crash)`` — the recorded probe events,
+        the kernel (for post-run state oracles) and the crash message
+        (``None`` on a clean run).
+    """
+    middleware, events = build_middleware(
+        scenario, collect_kernel_events=collect_kernel_events,
+        engine=engine, cost_model=cost_model, noise_seed=noise_seed,
+    )
     crash = None
     try:
         middleware.run(max_events=MAX_KERNEL_EVENTS)
@@ -179,25 +199,21 @@ def run_simulator(scenario):
     return events, result
 
 
-def run_scenario(scenario, collect_kernel_events=True, profile=None):
-    """Full verdict for one scenario: oracles always, differential when
-    fault-free.
+def judge_run(scenario, mw_events, kernel, crash,
+              collect_kernel_events=True, profile=None):
+    """Verdict over an already-executed middleware run.
 
-    :param profile: optional
-        :class:`~repro.obs.profile.WallClockProfile` — phases are timed
-        under ``check.middleware`` / ``check.oracles`` /
-        ``check.simulator`` / ``check.compare`` sections.
+    Shared by :func:`run_scenario` (which just ran the middleware) and
+    the snapshot time-travel replay (which restored a barrier snapshot
+    and finished the run) — both judge the *full* recorded event
+    stream with the same oracles and, for fault-free scenarios, the
+    theory differential.
     """
     if isinstance(scenario, dict):
         scenario = Scenario.from_dict(scenario)
     if profile is None:
         profile = NullProfile()
     report = CheckReport(scenario)
-
-    with profile.section("check.middleware"):
-        mw_events, kernel, crash = run_middleware(
-            scenario, collect_kernel_events=collect_kernel_events,
-        )
     report.crash = crash
     with profile.section("check.oracles"):
         if collect_kernel_events:
@@ -224,6 +240,28 @@ def run_scenario(scenario, collect_kernel_events=True, profile=None):
         if flight is not None:
             report.flight = flight.snapshot("check_failure")
     return report
+
+
+def run_scenario(scenario, collect_kernel_events=True, profile=None):
+    """Full verdict for one scenario: oracles always, differential when
+    fault-free.
+
+    :param profile: optional
+        :class:`~repro.obs.profile.WallClockProfile` — phases are timed
+        under ``check.middleware`` / ``check.oracles`` /
+        ``check.simulator`` / ``check.compare`` sections.
+    """
+    if isinstance(scenario, dict):
+        scenario = Scenario.from_dict(scenario)
+    if profile is None:
+        profile = NullProfile()
+    with profile.section("check.middleware"):
+        mw_events, kernel, crash = run_middleware(
+            scenario, collect_kernel_events=collect_kernel_events,
+        )
+    return judge_run(scenario, mw_events, kernel, crash,
+                     collect_kernel_events=collect_kernel_events,
+                     profile=profile)
 
 
 def run_engine_diff(scenario, noise_seed=None, profile=None):

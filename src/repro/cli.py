@@ -48,6 +48,12 @@ Commands
     the parallel scenario farm with a live per-worker status line; the
     merged report is byte-identical at any ``--workers`` count (see
     docs/FARM.md).
+
+``snapshot``
+    Deterministic checkpoint/restore: run a program to completion, dump
+    an ``rtseed-snapshot/1`` at an event barrier, inspect a snapshot,
+    or resume one to the end — the resumed payload is byte-identical
+    to the uninterrupted run (see docs/SNAPSHOTS.md).
 """
 
 import argparse
@@ -191,6 +197,15 @@ def _add_faults_parser(subparsers):
                              "farm with this many worker processes; "
                              "the report bytes are identical at any "
                              "worker count (docs/FARM.md)")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="checkpoint completed scenarios here and "
+                             "resume from it on the next run; also "
+                             "enables graceful SIGTERM/SIGINT drain "
+                             "(docs/SNAPSHOTS.md)")
+    parser.add_argument("--resume", default=None, metavar="FILE",
+                        help="resume a serial campaign from this "
+                             "campaign snapshot (--workers 1; farmed "
+                             "campaigns auto-resume via --checkpoint)")
 
 
 def _add_engine_argument(parser):
@@ -226,6 +241,16 @@ def _add_check_parser(subparsers):
                         help="write one repro JSON per failure here")
     parser.add_argument("--replay", default=None, metavar="FILE",
                         help="re-run a saved repro artifact and exit")
+    parser.add_argument("--from-snapshot", default=None, metavar="FILE",
+                        help="with --replay: restore this divergence "
+                             "snapshot (written next to the artifact "
+                             "by --artifacts) and re-execute only the "
+                             "tail (docs/SNAPSHOTS.md)")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="farm path only: checkpoint completed "
+                             "runs here and resume from it on the "
+                             "next run; also enables graceful "
+                             "SIGTERM/SIGINT drain")
     parser.add_argument("--engine-diff", action="store_true",
                         help="lockstep fast-vs-reference differential "
                              "instead of the theory oracle: every "
@@ -272,6 +297,60 @@ def _add_farm_parser(subparsers):
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="write the merged JSON report here "
                              "instead of stdout")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="checkpoint completed items here and "
+                             "resume from it on the next run; also "
+                             "enables graceful SIGTERM/SIGINT drain "
+                             "(docs/SNAPSHOTS.md)")
+
+
+def _add_snapshot_parser(subparsers):
+    parser = subparsers.add_parser(
+        "snapshot",
+        help="deterministic checkpoint/restore of a seeded run",
+    )
+    parser.add_argument("action",
+                        choices=["run", "dump", "inspect", "resume"],
+                        help="run: program to completion (payload "
+                             "JSON); dump: snapshot at --at-events; "
+                             "inspect: summarize a snapshot; resume: "
+                             "restore + finish (payload JSON, "
+                             "byte-identical to run)")
+    parser.add_argument("--program", default="trade",
+                        choices=["overheads", "trade", "faults",
+                                 "check"],
+                        help="which program to run/dump")
+    parser.add_argument("--np", dest="n_parallel", type=int, default=8,
+                        help="parallel optional parts (overheads)")
+    parser.add_argument("--jobs", type=int, default=5,
+                        help="jobs (overheads)")
+    parser.add_argument("--seconds", type=int, default=6,
+                        help="trading duration (trade / faults)")
+    parser.add_argument("--policy", default="one_by_one",
+                        choices=["one_by_one", "two_by_two",
+                                 "all_by_all"])
+    parser.add_argument("--load", default="none",
+                        choices=["none", "cpu", "cpu_memory"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenario", default="cpu_stall",
+                        help="faults program: campaign scenario name")
+    parser.add_argument("--artifact", default=None, metavar="FILE",
+                        help="check program: repro artifact supplying "
+                             "the scenario")
+    _add_engine_argument(parser)
+    parser.add_argument("--at-events", type=int, default=None,
+                        help="dump: engine event barrier to snapshot "
+                             "at (required for dump)")
+    parser.add_argument("--snapshot", default=None, metavar="FILE",
+                        help="snapshot path (dump writes it; "
+                             "inspect/resume read it)")
+    parser.add_argument("--expect-engine", default=None,
+                        choices=["reference", "fast"],
+                        help="resume: refuse snapshots taken on a "
+                             "different backend")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the payload JSON here instead of "
+                             "stdout (run/resume)")
 
 
 def _load_from_name(name):
@@ -619,9 +698,35 @@ def _farm_status(result, out):
     )
 
 
+class _StopFlag:
+    """SIGINT/SIGTERM latch for the serial campaign's graceful drain;
+    previous handlers restored by :meth:`restore`."""
+
+    def __init__(self):
+        import signal
+
+        self.signum = None
+        self._previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            self._previous[signum] = signal.signal(signum, self._set)
+
+    def _set(self, signum, _frame):
+        self.signum = signum
+
+    def __call__(self):
+        return self.signum
+
+    def restore(self):
+        import signal
+
+        for signum, handler in self._previous.items():
+            signal.signal(signum, handler)
+
+
 def cmd_faults(args, out):
     from repro.faults.campaign import (
         SCENARIOS,
+        CampaignInterrupted,
         render_report,
         run_campaign,
     )
@@ -640,21 +745,47 @@ def cmd_faults(args, out):
             print(f"unknown scenario(s): {', '.join(unknown)} "
                   f"(try --list)", file=out)
             return 2
+    if args.resume and args.workers > 1:
+        print("--resume is for serial campaigns; farmed campaigns "
+              "auto-resume from --checkpoint", file=out)
+        return 2
     quarantined = False
     if args.workers > 1:
-        from repro.farm import farm_campaign
+        from repro.farm import FarmInterrupted, farm_campaign
 
-        report, farm_result = farm_campaign(
-            scenarios=names, n_seconds=args.seconds, seed=args.seed,
-            workers=args.workers, flight_dir=args.flight_dir,
-            on_event=_FarmProgress(out),
-        )
+        try:
+            report, farm_result = farm_campaign(
+                scenarios=names, n_seconds=args.seconds, seed=args.seed,
+                workers=args.workers, flight_dir=args.flight_dir,
+                on_event=_FarmProgress(out),
+                checkpoint_path=args.checkpoint,
+                handle_signals=bool(args.checkpoint),
+            )
+        except FarmInterrupted as interrupt:
+            print(f"faults: {interrupt}", file=out)
+            return 3
         quarantined = bool(farm_result.quarantined
                            or report.get("incomplete"))
     else:
-        report = run_campaign(scenarios=names, n_seconds=args.seconds,
-                              seed=args.seed,
-                              flight_dir=args.flight_dir)
+        resume_document = None
+        if args.resume:
+            from repro.snapshot import load_snapshot
+
+            resume_document = load_snapshot(args.resume)
+        stop = _StopFlag() if args.checkpoint else None
+        try:
+            report = run_campaign(
+                scenarios=names, n_seconds=args.seconds,
+                seed=args.seed, flight_dir=args.flight_dir,
+                checkpoint_path=args.checkpoint,
+                resume_from=resume_document, should_stop=stop,
+            )
+        except CampaignInterrupted as interrupt:
+            print(f"faults: {interrupt}", file=out)
+            return 3
+        finally:
+            if stop is not None:
+                stop.restore()
     rendered = render_report(report)
     if args.out:
         with open(args.out, "w") as handle:
@@ -678,10 +809,28 @@ def cmd_check(args, out):
 
     if args.replay:
         artifact = load_artifact(args.replay)
-        report = replay_artifact(artifact)
+        if args.from_snapshot:
+            from repro.check.timetravel import replay_from_snapshot
+            from repro.snapshot import load_snapshot
+
+            document = load_snapshot(args.from_snapshot)
+            barrier = document["barrier"]["events_processed"]
+            report, _payload = replay_from_snapshot(document)
+            print(f"replay {args.replay} from snapshot "
+                  f"{args.from_snapshot} (restored at {barrier} "
+                  f"events): {report.summary()}", file=out)
+        else:
+            report = replay_artifact(artifact)
+            print(f"replay {args.replay}: {report.summary()}",
+                  file=out)
         expected = set(artifact["failure_kinds"])
         got = set(report.failure_kinds())
-        print(f"replay {args.replay}: {report.summary()}", file=out)
+        if args.from_snapshot and expected == {"engine_mismatch"}:
+            # a single-backend time-travel replay cannot re-run the
+            # two-backend differential; the restored state is the value
+            print("engine-diff artifact: single-backend replay, "
+                  "failure kinds not comparable", file=out)
+            return 0
         if expected and not (expected & got):
             print(f"DID NOT REPRODUCE (expected {sorted(expected)}, "
                   f"got {sorted(got)})", file=out)
@@ -689,18 +838,25 @@ def cmd_check(args, out):
         return 0
 
     quarantined = False
-    if args.workers is not None or args.out:
-        from repro.farm import farm_check, render_check_report
+    if args.workers is not None or args.out or args.checkpoint:
+        from repro.farm import FarmInterrupted, farm_check, \
+            render_check_report
 
-        document, farm_result = farm_check(
-            args.runs,
-            seed=args.seed,
-            fault_rate=args.fault_rate,
-            shrink=args.shrink,
-            engine_diff=args.engine_diff,
-            max_failures=args.max_failures,
-            workers=args.workers or 1,
-        )
+        try:
+            document, farm_result = farm_check(
+                args.runs,
+                seed=args.seed,
+                fault_rate=args.fault_rate,
+                shrink=args.shrink,
+                engine_diff=args.engine_diff,
+                max_failures=args.max_failures,
+                workers=args.workers or 1,
+                checkpoint_path=args.checkpoint,
+                handle_signals=bool(args.checkpoint),
+            )
+        except FarmInterrupted as interrupt:
+            print(f"check: {interrupt}", file=out)
+            return 3
         quarantined = bool(farm_result.quarantined)
         if args.out:
             with open(args.out, "w") as handle:
@@ -740,12 +896,24 @@ def cmd_check(args, out):
     if args.artifacts and failures:
         import os
 
+        from repro.check.timetravel import divergence_snapshot
+        from repro.snapshot import write_snapshot
+
         os.makedirs(args.artifacts, exist_ok=True)
         for artifact in failures:
             path = os.path.join(args.artifacts,
                                 f"repro-seed{artifact['seed']}.json")
             save_artifact(path, artifact)
             print(f"wrote {path}", file=out)
+            snapshot_path = os.path.join(
+                args.artifacts,
+                f"repro-seed{artifact['seed']}-snapshot.json",
+            )
+            document, info = divergence_snapshot(artifact)
+            write_snapshot(snapshot_path, document)
+            print(f"wrote {snapshot_path} (barrier {info['barrier']}/"
+                  f"{info['total_events']} events, "
+                  f"{info['barrier_source']})", file=out)
     mode = "engine-diff " if args.engine_diff else ""
     print(
         f"{result['runs']} {mode}runs from seed {args.seed}: "
@@ -761,6 +929,7 @@ def cmd_check(args, out):
 def cmd_farm(args, out):
     from repro.farm import (
         DEFAULT_HEARTBEAT,
+        FarmInterrupted,
         farm_campaign,
         farm_check,
         render_check_report,
@@ -769,33 +938,45 @@ def cmd_farm(args, out):
     progress = _FarmProgress(out)
     heartbeat = (DEFAULT_HEARTBEAT if args.heartbeat is None
                  else args.heartbeat)
-    if args.what == "faults":
-        from repro.faults.campaign import SCENARIOS, render_report
+    handle_signals = bool(args.checkpoint)
+    try:
+        if args.what == "faults":
+            from repro.faults.campaign import SCENARIOS, render_report
 
-        names = None
-        if args.scenario != "all":
-            names = [name.strip() for name in args.scenario.split(",")]
-            unknown = [name for name in names if name not in SCENARIOS]
-            if unknown:
-                print(f"unknown scenario(s): {', '.join(unknown)}",
-                      file=out)
-                return 2
-        document, farm_result = farm_campaign(
-            scenarios=names, n_seconds=args.seconds, seed=args.seed,
-            workers=args.workers, heartbeat=heartbeat,
-            flight_dir=args.flight_dir, on_event=progress,
-        )
-        rendered = render_report(document)
-        failed = bool(document.get("incomplete"))
-    else:
-        document, farm_result = farm_check(
-            args.runs, seed=args.seed, fault_rate=args.fault_rate,
-            engine_diff=args.what == "engine-diff",
-            workers=args.workers, heartbeat=heartbeat,
-            flight_dir=args.flight_dir, on_event=progress,
-        )
-        rendered = render_check_report(document)
-        failed = bool(document["total_failures"] or document["errors"])
+            names = None
+            if args.scenario != "all":
+                names = [name.strip()
+                         for name in args.scenario.split(",")]
+                unknown = [name for name in names
+                           if name not in SCENARIOS]
+                if unknown:
+                    print(f"unknown scenario(s): {', '.join(unknown)}",
+                          file=out)
+                    return 2
+            document, farm_result = farm_campaign(
+                scenarios=names, n_seconds=args.seconds,
+                seed=args.seed, workers=args.workers,
+                heartbeat=heartbeat, flight_dir=args.flight_dir,
+                on_event=progress, checkpoint_path=args.checkpoint,
+                handle_signals=handle_signals,
+            )
+            rendered = render_report(document)
+            failed = bool(document.get("incomplete"))
+        else:
+            document, farm_result = farm_check(
+                args.runs, seed=args.seed, fault_rate=args.fault_rate,
+                engine_diff=args.what == "engine-diff",
+                workers=args.workers, heartbeat=heartbeat,
+                flight_dir=args.flight_dir, on_event=progress,
+                checkpoint_path=args.checkpoint,
+                handle_signals=handle_signals,
+            )
+            rendered = render_check_report(document)
+            failed = bool(document["total_failures"]
+                          or document["errors"])
+    except FarmInterrupted as interrupt:
+        print(f"farm: {interrupt}", file=out)
+        return 3
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(rendered)
@@ -804,6 +985,103 @@ def cmd_farm(args, out):
     if farm_result.quarantined:
         return 2
     return 1 if failed else 0
+
+
+def _snapshot_spec(args, out):
+    """Program spec from ``repro snapshot`` arguments (or ``None`` +
+    error message on stderr-equivalent ``out``)."""
+    if args.program == "overheads":
+        return {"kind": "overheads", "np": args.n_parallel,
+                "jobs": args.jobs, "policy": args.policy,
+                "load": args.load.upper(), "seed": args.seed,
+                "engine": args.engine}
+    if args.program == "trade":
+        return {"kind": "trade", "seconds": args.seconds,
+                "policy": args.policy, "load": args.load.upper(),
+                "seed": args.seed, "engine": args.engine}
+    if args.program == "faults":
+        from repro.faults.campaign import SCENARIOS
+
+        if args.scenario not in SCENARIOS:
+            print(f"unknown scenario {args.scenario!r}; valid: "
+                  f"{sorted(SCENARIOS)}", file=out)
+            return None
+        return {"kind": "faults", "scenario": args.scenario,
+                "seconds": args.seconds, "seed": args.seed,
+                "engine": args.engine}
+    if args.artifact is None:
+        print("--program check needs --artifact FILE (a repro "
+              "artifact supplying the scenario)", file=out)
+        return None
+    from repro.check.shrink import load_artifact
+    from repro.check.timetravel import artifact_check_spec
+
+    return artifact_check_spec(load_artifact(args.artifact),
+                               engine=args.engine)
+
+
+def cmd_snapshot(args, out):
+    import json as json_module
+
+    from repro.snapshot import (
+        SnapshotError,
+        build_program,
+        inspect_snapshot,
+        load_snapshot,
+        resume_to_end,
+        write_snapshot,
+    )
+    from repro.snapshot import snapshot as take_snapshot
+
+    def emit_payload(payload):
+        rendered = json_module.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rendered)
+            print(f"wrote payload to {args.out}", file=out)
+        else:
+            out.write(rendered)
+
+    try:
+        if args.action == "inspect":
+            if not args.snapshot:
+                print("inspect needs --snapshot FILE", file=out)
+                return 2
+            summary = inspect_snapshot(load_snapshot(args.snapshot))
+            out.write(json_module.dumps(summary, indent=2,
+                                        sort_keys=True) + "\n")
+            return 0
+        if args.action == "resume":
+            if not args.snapshot:
+                print("resume needs --snapshot FILE", file=out)
+                return 2
+            document = load_snapshot(args.snapshot)
+            payload = resume_to_end(document,
+                                    expect_backend=args.expect_engine)
+            emit_payload(payload)
+            return 0
+
+        spec = _snapshot_spec(args, out)
+        if spec is None:
+            return 2
+        run = build_program(spec).start()
+        if args.action == "dump":
+            if args.at_events is None or not args.snapshot:
+                print("dump needs --at-events N and --snapshot FILE",
+                      file=out)
+                return 2
+            document = take_snapshot(run, at_events=args.at_events)
+            write_snapshot(args.snapshot, document)
+            print(f"wrote snapshot of {spec['kind']} at "
+                  f"{args.at_events} events ({document['backend']} "
+                  f"backend) to {args.snapshot}", file=out)
+            return 0
+        emit_payload(run.finish())
+        return 0
+    except SnapshotError as error:
+        print(f"snapshot: {error}", file=out)
+        return 2
 
 
 _COMMANDS = {
@@ -818,6 +1096,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "check": cmd_check,
     "farm": cmd_farm,
+    "snapshot": cmd_snapshot,
 }
 
 
@@ -839,6 +1118,7 @@ def build_parser():
     _add_faults_parser(subparsers)
     _add_check_parser(subparsers)
     _add_farm_parser(subparsers)
+    _add_snapshot_parser(subparsers)
     return parser
 
 

@@ -244,8 +244,14 @@ class RTSeed:
                         entry["task"].name
                     ]
 
-    def run(self, max_events=None):
-        """Plan, spawn every process, and run the kernel to completion."""
+    def start(self):
+        """Plan and spawn every process without running the kernel.
+
+        The snapshot layer (:mod:`repro.snapshot`) uses this split to
+        drive the engine partially (``kernel.engine.run(max_events=N)``
+        up to a barrier, then :meth:`finish`); :meth:`run` is the
+        one-shot composition everybody else calls.
+        """
         if not self._entries:
             raise RuntimeError("no tasks registered")
         if self._ran:
@@ -268,7 +274,18 @@ class RTSeed:
                 degrade=self.degrade,
             ).spawn()
             results[entry["task"].name] = TaskResult(process)
+        self._results = results
+        return results
+
+    def finish(self, max_events=None):
+        """Drain the kernel to completion and build the result
+        (requires :meth:`start`)."""
         self.kernel.run_to_completion(max_events=max_events)
         if self.degrade is not None:
             self.degrade.close(self.kernel.now)
-        return RTSeedResult(results, self.kernel)
+        return RTSeedResult(self._results, self.kernel)
+
+    def run(self, max_events=None):
+        """Plan, spawn every process, and run the kernel to completion."""
+        self.start()
+        return self.finish(max_events=max_events)

@@ -194,6 +194,12 @@ class DegradedModeController:
                     recovery_latency=now - self._entered_at,
                 )
             self._entered_at = None
+            # fresh baseline: without this, miss counts accumulated
+            # before/during the episode survive the exit, and a single
+            # new miss re-enters degraded mode instead of requiring
+            # ``enter_after`` fresh consecutive misses
+            self._consecutive_miss = {}
+            self._consecutive_met = 0
 
     def close(self, now):
         """Record a still-open episode at end of run."""

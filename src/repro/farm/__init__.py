@@ -21,9 +21,16 @@ twice is quarantined into the report with its unfinished indices and
 seeds (see docs/FARM.md).
 """
 
+from repro.farm.checkpoint import (
+    FARM_CHECKPOINT_SCHEMA,
+    CheckpointMismatchError,
+    FarmCheckpoint,
+    load_farm_checkpoint,
+)
 from repro.farm.core import (
     DEFAULT_HEARTBEAT,
     DEFAULT_RETRIES,
+    FarmInterrupted,
     FarmResult,
     farm_map,
     resolve_context,
@@ -38,8 +45,13 @@ from repro.farm.jobs import (
 from repro.farm.partition import partition_shards, shard_of
 
 __all__ = [
+    "FARM_CHECKPOINT_SCHEMA",
+    "CheckpointMismatchError",
+    "FarmCheckpoint",
+    "load_farm_checkpoint",
     "DEFAULT_HEARTBEAT",
     "DEFAULT_RETRIES",
+    "FarmInterrupted",
     "FarmResult",
     "farm_map",
     "resolve_context",

@@ -36,8 +36,10 @@ unstable): ``farm.start``, ``farm.item_start``, ``farm.item_done``,
 import multiprocessing
 import os
 import queue as queue_module
+import signal as signal_module
 import time
 
+from repro.farm.checkpoint import FarmCheckpoint, load_farm_checkpoint
 from repro.farm.partition import partition_shards
 from repro.obs.bus import ProbeBus
 from repro.obs.flightrec import FlightRecorder
@@ -49,6 +51,31 @@ DEFAULT_HEARTBEAT = 120.0
 
 #: Automatic re-executions of a failed shard's remaining items.
 DEFAULT_RETRIES = 1
+
+
+class FarmInterrupted(Exception):
+    """A graceful SIGTERM/SIGINT drain stopped the batch early.
+
+    Carries the partial :class:`FarmResult` (everything completed
+    before the signal, all of it already flushed to the checkpoint
+    when one is configured) so the caller can report progress and the
+    resume path.
+    """
+
+    def __init__(self, signum, result, checkpoint_path=None):
+        self.signum = signum
+        self.result = result
+        self.checkpoint_path = checkpoint_path
+        name = signal_module.Signals(signum).name \
+            if signum is not None else "signal"
+        pending = result.n_items - len(result.results)
+        super().__init__(
+            f"farm interrupted by {name}: "
+            f"{len(result.results)}/{result.n_items} item(s) done, "
+            f"{pending} pending"
+            + (f"; resume from checkpoint {checkpoint_path}"
+               if checkpoint_path else "")
+        )
 
 
 class _SeqClock:
@@ -143,7 +170,8 @@ class FarmResult:
 
 def farm_map(task, items, n_workers=1, heartbeat=DEFAULT_HEARTBEAT,
              max_retries=DEFAULT_RETRIES, context=None, flight_dir=None,
-             flight_seed=None, on_event=None):
+             flight_seed=None, on_event=None, checkpoint_path=None,
+             checkpoint_meta=None, handle_signals=False):
     """Run ``task(item)`` for every item, sharded across processes.
 
     :param task: callable executed in the workers.  Under the ``spawn``
@@ -167,6 +195,19 @@ def farm_map(task, items, n_workers=1, heartbeat=DEFAULT_HEARTBEAT,
     :param flight_seed: seed stamped into the flight dump header.
     :param on_event: optional ``f(topic, data)`` mirror of every
         ``farm.*`` event (the CLI progress line).
+    :param checkpoint_path: JSONL checkpoint the parent appends every
+        completed payload to (see :mod:`repro.farm.checkpoint`).  If
+        the file already holds results for this batch fingerprint,
+        those items are *not* re-run — the farm resumes where the
+        previous run (crashed, killed, or drained) stopped, and the
+        merged result is byte-identical to an uninterrupted run.
+    :param checkpoint_meta: JSON-able batch fingerprint stamped into
+        the checkpoint header; a resume against a checkpoint with a
+        different fingerprint is refused.
+    :param handle_signals: install SIGTERM/SIGINT handlers for the
+        duration of the batch (restored on exit).  On signal the farm
+        stops dispatching, terminates workers, flushes the checkpoint,
+        and raises :class:`FarmInterrupted` with the partial result.
     :returns: :class:`FarmResult`.
     """
     items = list(items)
@@ -182,142 +223,215 @@ def farm_map(task, items, n_workers=1, heartbeat=DEFAULT_HEARTBEAT,
         if on_event is not None:
             on_event(topic, data)
 
+    checkpoint = None
+    if checkpoint_path is not None:
+        completed = load_farm_checkpoint(checkpoint_path,
+                                         meta=checkpoint_meta)
+        # only indices of *this* batch count (a shrunk batch reuses a
+        # larger checkpoint's prefix; indices past the end are ignored)
+        completed = {index: payload
+                     for index, payload in completed.items()
+                     if 0 <= index < len(items)}
+        result.results.update(completed)
+        checkpoint = FarmCheckpoint(checkpoint_path,
+                                    meta=checkpoint_meta,
+                                    completed=completed)
+
+    def record(index, payload):
+        if index not in result.results:
+            result.results[index] = payload
+            if checkpoint is not None:
+                checkpoint.record(index, payload)
+
+    stop = {"signum": None}
+    previous_handlers = {}
+    if handle_signals:
+        def _on_signal(signum, _frame):
+            stop["signum"] = signum
+
+        for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+            previous_handlers[signum] = signal_module.signal(signum,
+                                                             _on_signal)
+
+    def interrupted():
+        result.stats = _stats(result, n_workers, "interrupted",
+                              started)
+        publish("farm.interrupt", signum=stop["signum"],
+                completed=len(result.results))
+        raise FarmInterrupted(stop["signum"], result,
+                              checkpoint_path=checkpoint_path)
+
     n_workers = max(1, n_workers)
     shards = partition_shards(len(items), n_workers)
+    pending_shards = [
+        [index for index in shard if index not in result.results]
+        for shard in shards
+    ]
     started = time.monotonic()
     publish("farm.start", items=len(items), workers=n_workers,
             shard_sizes=[len(shard) for shard in shards])
+    if checkpoint is not None and any(
+            len(pending) < len(shard)
+            for shard, pending in zip(shards, pending_shards)):
+        publish("farm.resume", checkpoint=checkpoint_path,
+                completed=len(result.results),
+                remaining=sum(len(p) for p in pending_shards))
 
-    if n_workers == 1:
-        for index, item in enumerate(items):
-            publish("farm.item_start", shard=0, index=index)
-            result.results[index] = _run_item(task, item)
-            publish("farm.item_done", shard=0, index=index)
-        publish("farm.shard_done", shard=0)
-        result.stats = _stats(result, n_workers, "in-process", started)
+    try:
+        if n_workers == 1:
+            for index, item in enumerate(items):
+                if index in result.results:
+                    continue
+                if stop["signum"] is not None:
+                    interrupted()
+                publish("farm.item_start", shard=0, index=index)
+                record(index, _run_item(task, item))
+                publish("farm.item_done", shard=0, index=index)
+            publish("farm.shard_done", shard=0)
+            result.stats = _stats(result, n_workers, "in-process",
+                                  started)
+            publish("farm.done", completed=len(result.results))
+            return result
+
+        ctx = resolve_context(context)
+        out_queue = ctx.Queue()
+        states = {}
+
+        def spawn(shard_id, indices, attempt):
+            numbered = [(index, items[index]) for index in indices]
+            process = ctx.Process(
+                target=_worker_main,
+                args=(shard_id, attempt, task, numbered, out_queue),
+                daemon=True,
+            )
+            process.start()
+            states[shard_id] = {
+                "process": process,
+                "generation": attempt,
+                "pending": set(indices),
+                "attempt": attempt,
+                "last_seen": time.monotonic(),
+                "exited": False,
+            }
+
+        for shard_id, shard in enumerate(pending_shards):
+            if shard:
+                spawn(shard_id, shard, attempt=1)
+        active = set(states)
+
+        def handle(message):
+            kind, shard_id, generation, index, payload = message
+            state = states.get(shard_id)
+            if state is None:
+                return
+            if kind == "result":
+                # results are deterministic per item: accept from any
+                # generation, first write wins
+                record(index, payload)
+                state["pending"].discard(index)
+            if generation != state["generation"]:
+                return  # stale lifecycle message from a replaced worker
+            state["last_seen"] = time.monotonic()
+            if kind == "start":
+                publish("farm.item_start", shard=shard_id, index=index)
+            elif kind == "result":
+                publish("farm.item_done", shard=shard_id, index=index)
+            elif kind == "exit":
+                state["exited"] = True
+                publish("farm.shard_done", shard=shard_id)
+
+        def drain():
+            while True:
+                try:
+                    handle(out_queue.get_nowait())
+                except queue_module.Empty:
+                    return
+
+        def fail_shard(shard_id, reason):
+            state = states[shard_id]
+            pending = sorted(state["pending"])
+            publish("farm.worker_lost", shard=shard_id, reason=reason,
+                    attempt=state["attempt"], pending=len(pending))
+            if not pending:
+                # died after finishing its items (lost only the exit
+                # message): the shard is complete
+                active.discard(shard_id)
+                return
+            if state["attempt"] <= max_retries:
+                result.retries += 1
+                publish("farm.retry", shard=shard_id,
+                        attempt=state["attempt"] + 1,
+                        items=len(pending))
+                spawn(shard_id, pending, attempt=state["attempt"] + 1)
+                return
+            publish("farm.quarantine", shard=shard_id, reason=reason,
+                    indices=pending)
+            document = recorder.record_failure("farm_quarantine")
+            result.quarantined.append({
+                "shard": shard_id,
+                "reason": reason,
+                "indices": pending,
+                "attempts": state["attempt"],
+                "flight": document,
+                "flight_dump": recorder.dumps[-1]
+                if recorder.dumps else None,
+                "checkpoint": checkpoint_path,
+            })
+            active.discard(shard_id)
+
+        poll = max(0.02, min(0.25, heartbeat / 5.0))
+        while active:
+            if stop["signum"] is not None:
+                # graceful drain: stop the workers, keep every result
+                # already landed (and checkpointed), report the rest
+                for shard_id in sorted(active):
+                    process = states[shard_id]["process"]
+                    process.terminate()
+                    process.join(timeout=2)
+                    if process.is_alive():
+                        process.kill()
+                        process.join(timeout=2)
+                drain()
+                interrupted()
+            try:
+                handle(out_queue.get(timeout=poll))
+            except queue_module.Empty:
+                pass
+            now = time.monotonic()
+            for shard_id in sorted(active):
+                state = states[shard_id]
+                process = state["process"]
+                if state["exited"]:
+                    process.join(timeout=5)
+                    active.discard(shard_id)
+                elif not process.is_alive():
+                    # give queued messages (possibly including the exit
+                    # marker) a chance to land before declaring a crash
+                    drain()
+                    process.join(timeout=5)
+                    if state["exited"]:
+                        active.discard(shard_id)
+                    else:
+                        fail_shard(shard_id, "crash")
+                elif now - state["last_seen"] > heartbeat:
+                    process.terminate()
+                    process.join(timeout=2)
+                    if process.is_alive():
+                        process.kill()
+                        process.join(timeout=2)
+                    drain()
+                    fail_shard(shard_id, "hang")
+        drain()
+
+        result.stats = _stats(result, n_workers, ctx.get_start_method(),
+                              started)
         publish("farm.done", completed=len(result.results))
         return result
-
-    ctx = resolve_context(context)
-    out_queue = ctx.Queue()
-    states = {}
-
-    def spawn(shard_id, indices, attempt):
-        numbered = [(index, items[index]) for index in indices]
-        process = ctx.Process(
-            target=_worker_main,
-            args=(shard_id, attempt, task, numbered, out_queue),
-            daemon=True,
-        )
-        process.start()
-        states[shard_id] = {
-            "process": process,
-            "generation": attempt,
-            "pending": set(indices),
-            "attempt": attempt,
-            "last_seen": time.monotonic(),
-            "exited": False,
-        }
-
-    for shard_id, shard in enumerate(shards):
-        if shard:
-            spawn(shard_id, shard, attempt=1)
-    active = set(states)
-
-    def handle(message):
-        kind, shard_id, generation, index, payload = message
-        state = states.get(shard_id)
-        if state is None:
-            return
-        if kind == "result":
-            # results are deterministic per item: accept from any
-            # generation, first write wins
-            if index not in result.results:
-                result.results[index] = payload
-            state["pending"].discard(index)
-        if generation != state["generation"]:
-            return  # stale lifecycle message from a replaced worker
-        state["last_seen"] = time.monotonic()
-        if kind == "start":
-            publish("farm.item_start", shard=shard_id, index=index)
-        elif kind == "result":
-            publish("farm.item_done", shard=shard_id, index=index)
-        elif kind == "exit":
-            state["exited"] = True
-            publish("farm.shard_done", shard=shard_id)
-
-    def drain():
-        while True:
-            try:
-                handle(out_queue.get_nowait())
-            except queue_module.Empty:
-                return
-
-    def fail_shard(shard_id, reason):
-        state = states[shard_id]
-        pending = sorted(state["pending"])
-        publish("farm.worker_lost", shard=shard_id, reason=reason,
-                attempt=state["attempt"], pending=len(pending))
-        if not pending:
-            # died after finishing its items (lost only the exit
-            # message): the shard is complete
-            active.discard(shard_id)
-            return
-        if state["attempt"] <= max_retries:
-            result.retries += 1
-            publish("farm.retry", shard=shard_id,
-                    attempt=state["attempt"] + 1, items=len(pending))
-            spawn(shard_id, pending, attempt=state["attempt"] + 1)
-            return
-        publish("farm.quarantine", shard=shard_id, reason=reason,
-                indices=pending)
-        document = recorder.record_failure("farm_quarantine")
-        result.quarantined.append({
-            "shard": shard_id,
-            "reason": reason,
-            "indices": pending,
-            "attempts": state["attempt"],
-            "flight": document,
-            "flight_dump": recorder.dumps[-1] if recorder.dumps else None,
-        })
-        active.discard(shard_id)
-
-    poll = max(0.02, min(0.25, heartbeat / 5.0))
-    while active:
-        try:
-            handle(out_queue.get(timeout=poll))
-        except queue_module.Empty:
-            pass
-        now = time.monotonic()
-        for shard_id in sorted(active):
-            state = states[shard_id]
-            process = state["process"]
-            if state["exited"]:
-                process.join(timeout=5)
-                active.discard(shard_id)
-            elif not process.is_alive():
-                # give queued messages (possibly including the exit
-                # marker) a chance to land before declaring a crash
-                drain()
-                process.join(timeout=5)
-                if state["exited"]:
-                    active.discard(shard_id)
-                else:
-                    fail_shard(shard_id, "crash")
-            elif now - state["last_seen"] > heartbeat:
-                process.terminate()
-                process.join(timeout=2)
-                if process.is_alive():
-                    process.kill()
-                    process.join(timeout=2)
-                drain()
-                fail_shard(shard_id, "hang")
-    drain()
-
-    result.stats = _stats(result, n_workers, ctx.get_start_method(),
-                          started)
-    publish("farm.done", completed=len(result.results))
-    return result
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+        for signum, handler in previous_handlers.items():
+            signal_module.signal(signum, handler)
 
 
 def _stats(result, n_workers, method, started):

@@ -115,7 +115,8 @@ def merge_check_results(farm_result, mode, base_seed, n_runs,
 def farm_check(n_runs, seed=0, fault_rate=None, shrink=True,
                engine_diff=False, max_failures=5, workers=1,
                heartbeat=DEFAULT_HEARTBEAT, max_retries=DEFAULT_RETRIES,
-               flight_dir=None, on_event=None, context=None):
+               flight_dir=None, on_event=None, context=None,
+               checkpoint_path=None, handle_signals=False):
     """Run a check or engine-diff batch across ``workers`` processes.
 
     Returns ``(document, farm_result)`` — the deterministic report dict
@@ -127,6 +128,10 @@ def farm_check(n_runs, seed=0, fault_rate=None, shrink=True,
     the farm runs *every* index regardless of failures, then truncates
     the merged failure list to ``max_failures`` in index order — the
     report is identical at any worker count.
+
+    ``checkpoint_path`` enables crash/interrupt resume: completed runs
+    are appended to the file and skipped on the next invocation with
+    the same batch fingerprint (mode/seed/runs/fault_rate/shrink).
     """
     if fault_rate is None:
         fault_rate = 0.25 if engine_diff else 0.0
@@ -137,10 +142,15 @@ def farm_check(n_runs, seed=0, fault_rate=None, shrink=True,
          "shrink": shrink}
         for index in range(n_runs)
     ]
+    checkpoint_meta = {"what": mode, "base_seed": seed, "runs": n_runs,
+                       "fault_rate": fault_rate, "shrink": shrink}
     farm_result = farm_map(
         task, items, n_workers=workers, heartbeat=heartbeat,
         max_retries=max_retries, context=context, flight_dir=flight_dir,
         flight_seed=seed, on_event=on_event,
+        checkpoint_path=checkpoint_path,
+        checkpoint_meta=checkpoint_meta,
+        handle_signals=handle_signals,
     )
     document = merge_check_results(
         farm_result, mode, seed, n_runs, fault_rate, shrink,
@@ -157,7 +167,8 @@ def render_check_report(document):
 def farm_campaign(scenarios=None, n_seconds=30, seed=0, workers=1,
                   heartbeat=DEFAULT_HEARTBEAT,
                   max_retries=DEFAULT_RETRIES, flight_dir=None,
-                  on_event=None, context=None):
+                  on_event=None, context=None, checkpoint_path=None,
+                  handle_signals=False):
     """Run a resilience campaign across ``workers`` processes.
 
     Returns ``(document, farm_result)``.  A fully completed farmed
@@ -165,6 +176,10 @@ def farm_campaign(scenarios=None, n_seconds=30, seed=0, workers=1,
     :func:`repro.faults.campaign.run_campaign` — byte-identical when
     rendered.  A quarantined or errored scenario appears under
     ``"incomplete"`` with its name and reason instead of vanishing.
+
+    ``checkpoint_path`` enables crash/interrupt resume: completed
+    scenarios are appended to the file and skipped on the next
+    invocation with the same fingerprint (scenarios/seconds/seed).
     """
     from repro.faults.campaign import SCENARIOS, assemble_campaign
 
@@ -176,10 +191,15 @@ def farm_campaign(scenarios=None, n_seconds=30, seed=0, workers=1,
             )
     task = functools.partial(_campaign_item, n_seconds=n_seconds,
                              seed=seed)
+    checkpoint_meta = {"what": "campaign", "scenarios": names,
+                      "n_seconds": n_seconds, "seed": seed}
     farm_result = farm_map(
         task, names, n_workers=workers, heartbeat=heartbeat,
         max_retries=max_retries, context=context, flight_dir=flight_dir,
         flight_seed=seed, on_event=on_event,
+        checkpoint_path=checkpoint_path,
+        checkpoint_meta=checkpoint_meta,
+        handle_signals=handle_signals,
     )
     incomplete = []
     completed_names = []

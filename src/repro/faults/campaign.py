@@ -176,24 +176,88 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name, n_seconds=30, seed=0, flight_dir=None,
-                 profile=None, _sabotage=None):
-    """Run one canned scenario; returns its (JSON-ready) report dict.
+class ScenarioRun:
+    """A prepared (not yet run) campaign scenario.
 
-    :param flight_dir: when set, a
-        :class:`~repro.obs.flightrec.FlightRecorder` rides along
-        passively and dumps its ring into this directory at every
-        failure edge (invariant violation, degraded-mode entry,
-        watchdog fire).
-    :param profile: optional
-        :class:`~repro.obs.profile.WallClockProfile` — setup and run
-        are timed under ``faults.<scenario>.setup`` / ``.run``.
-        Wall-clock numbers never enter the returned report (it must
-        stay byte-deterministic).
-    :param _sabotage: test hook — ``f(kernel)`` called after setup,
-        before the run; used to plant invariant violations for
-        flight-recorder smoke tests.
+    :func:`prepare_scenario` builds the full system + fault plan +
+    hardening stack and *starts* the middleware (plan + spawn) without
+    driving the engine.  :meth:`finish` drains the kernel and builds
+    the scenario's report dict.  The split exists for the snapshot
+    layer (:mod:`repro.snapshot.programs`), which fast-forwards the
+    engine to a barrier between the two; :func:`run_scenario` is the
+    one-shot composition everything else uses.
     """
+
+    def __init__(self, name, config, n_seconds, seed, plan, injector,
+                 system, events, retry, watchdog, degrade, recorder,
+                 profile):
+        self.name = name
+        self.config = config
+        self.n_seconds = n_seconds
+        self.seed = seed
+        self.plan = plan
+        self.injector = injector
+        self.system = system
+        self.kernel = system.middleware.kernel
+        self.events = events
+        self.retry = retry
+        self.watchdog = watchdog
+        self.degrade = degrade
+        self.recorder = recorder
+        self.profile = profile
+
+    def finish(self):
+        """Drain the kernel; returns the scenario's report dict."""
+        with self.profile.section(f"faults.{self.name}.run"):
+            report = self.system.finish()
+        task = self.system.task
+        probes = report.task_result.probes
+        misses = len(report.task_result.deadline_misses)
+        summary = report.summary()
+
+        result = {
+            "scenario": self.name,
+            "description": self.config["description"],
+            "seed": self.seed,
+            "n_seconds": self.n_seconds,
+            "plan": self.plan.to_dict(),
+            "injected": dict(self.injector.counts),
+            "events": self.events,
+            "jobs": len(probes),
+            "deadline_misses": misses,
+            "miss_ratio": misses / len(probes) if probes else 0.0,
+            "aborted_jobs": sum(1 for p in probes if p.aborted),
+            "qos_ms": summary["qos_ms"],
+            "trades": summary["trades"],
+            "rejected": summary["rejected"],
+            "equity": summary["equity"],
+            "broker_failures": len(task.broker_failures),
+            "run_report": RunReport.collect(
+                self.kernel, injector=self.injector,
+                watchdog=self.watchdog, degrade=self.degrade,
+                include_wallclock=False,
+            ).to_dict(),
+        }
+        if self.watchdog is not None:
+            result["watchdog_fires"] = len(self.watchdog.fired)
+        if self.degrade is not None:
+            degrade = self.degrade
+            result["degraded"] = {
+                "episodes": len(degrade.episodes),
+                "shed_jobs": degrade.shed_jobs,
+                "recovery_latency_ms": [
+                    latency / MSEC
+                    for latency in degrade.recovery_latencies
+                ],
+            }
+        return result
+
+
+def prepare_scenario(name, n_seconds=30, seed=0, flight_dir=None,
+                     profile=None, _sabotage=None, engine=None):
+    """Build one canned scenario, started but not run; returns a
+    :class:`ScenarioRun` (see :func:`run_scenario` for parameters;
+    ``engine`` optionally pins the execution-core backend)."""
     if name not in SCENARIOS:
         raise KeyError(
             f"unknown scenario {name!r}; valid: {sorted(SCENARIOS)}"
@@ -219,7 +283,7 @@ def run_scenario(name, n_seconds=30, seed=0, flight_dir=None,
         system = RealTimeTradingSystem(
             n_seconds=n_seconds, seed=seed, network=network,
             retry_policy=retry, watchdog=watchdog, degrade=degrade,
-            **config.get("system", {}),
+            engine=engine, **config.get("system", {}),
         )
         task = system.task
         task.feed = injector.wrap_feed(task.feed)
@@ -238,46 +302,37 @@ def run_scenario(name, n_seconds=30, seed=0, flight_dir=None,
         injector.attach(kernel)
         if _sabotage is not None:
             _sabotage(kernel)
+        system.start()
 
-    with profile.section(f"faults.{name}.run"):
-        report = system.run()
-    probes = report.task_result.probes
-    misses = len(report.task_result.deadline_misses)
-    summary = report.summary()
+    return ScenarioRun(name, config, n_seconds, seed, plan, injector,
+                       system, events, retry, watchdog, degrade,
+                       recorder, profile)
 
-    result = {
-        "scenario": name,
-        "description": config["description"],
-        "seed": seed,
-        "n_seconds": n_seconds,
-        "plan": plan.to_dict(),
-        "injected": dict(injector.counts),
-        "events": events,
-        "jobs": len(probes),
-        "deadline_misses": misses,
-        "miss_ratio": misses / len(probes) if probes else 0.0,
-        "aborted_jobs": sum(1 for p in probes if p.aborted),
-        "qos_ms": summary["qos_ms"],
-        "trades": summary["trades"],
-        "rejected": summary["rejected"],
-        "equity": summary["equity"],
-        "broker_failures": len(task.broker_failures),
-        "run_report": RunReport.collect(
-            kernel, injector=injector, watchdog=watchdog,
-            degrade=degrade, include_wallclock=False,
-        ).to_dict(),
-    }
-    if watchdog is not None:
-        result["watchdog_fires"] = len(watchdog.fired)
-    if degrade is not None:
-        result["degraded"] = {
-            "episodes": len(degrade.episodes),
-            "shed_jobs": degrade.shed_jobs,
-            "recovery_latency_ms": [
-                latency / MSEC for latency in degrade.recovery_latencies
-            ],
-        }
-    return result
+
+def run_scenario(name, n_seconds=30, seed=0, flight_dir=None,
+                 profile=None, _sabotage=None, engine=None):
+    """Run one canned scenario; returns its (JSON-ready) report dict.
+
+    :param flight_dir: when set, a
+        :class:`~repro.obs.flightrec.FlightRecorder` rides along
+        passively and dumps its ring into this directory at every
+        failure edge (invariant violation, degraded-mode entry,
+        watchdog fire).
+    :param profile: optional
+        :class:`~repro.obs.profile.WallClockProfile` — setup and run
+        are timed under ``faults.<scenario>.setup`` / ``.run``.
+        Wall-clock numbers never enter the returned report (it must
+        stay byte-deterministic).
+    :param _sabotage: test hook — ``f(kernel)`` called after setup,
+        before the run; used to plant invariant violations for
+        flight-recorder smoke tests.
+    :param engine: optional execution-core backend override
+        (``"reference"`` / ``"fast"`` / ``None`` = process default).
+    """
+    return prepare_scenario(
+        name, n_seconds=n_seconds, seed=seed, flight_dir=flight_dir,
+        profile=profile, _sabotage=_sabotage, engine=engine,
+    ).finish()
 
 
 def assemble_campaign(names, n_seconds, seed, results):
@@ -303,19 +358,111 @@ def assemble_campaign(names, n_seconds, seed, results):
     return document
 
 
+class CampaignInterrupted(Exception):
+    """A serial campaign stopped on a signal after draining the
+    in-flight scenario; ``checkpoint_path`` resumes it."""
+
+    def __init__(self, signum, completed, checkpoint_path=None):
+        self.signum = signum
+        self.completed = completed
+        self.checkpoint_path = checkpoint_path
+        hint = (f"; resume from checkpoint {checkpoint_path}"
+                if checkpoint_path else "")
+        super().__init__(
+            f"campaign interrupted: {len(completed)} scenario(s) "
+            f"completed{hint}"
+        )
+
+
+def _campaign_checkpoint_document(names, n_seconds, seed, completed):
+    """Campaign progress as an ``rtseed-snapshot/1`` document.
+
+    The campaign's unit of determinism is the scenario (each result is
+    a pure function of ``(name, n_seconds, seed)``), so its checkpoint
+    is completed-results-by-name rather than mid-scenario kernel state
+    — same envelope, integrity checks, and CLI (``repro snapshot
+    inspect``) as the simulation snapshots.
+    """
+    from repro.snapshot.core import build_snapshot
+
+    return build_snapshot(
+        program={"kind": "campaign", "scenarios": list(names),
+                 "n_seconds": n_seconds, "seed": seed},
+        barrier={"completed": len(completed)},
+        state={"completed": completed},
+        seed=seed,
+    )
+
+
+def load_campaign_checkpoint(document, names, n_seconds, seed):
+    """Completed ``{name: result}`` from a campaign snapshot document.
+
+    Refuses documents whose program does not exactly match the
+    campaign being resumed (scenario list, duration, seed)."""
+    from repro.snapshot.core import SnapshotMismatchError, \
+        validate_snapshot
+
+    validate_snapshot(document)
+    program = document.get("program", {})
+    expected = {"kind": "campaign", "scenarios": list(names),
+                "n_seconds": n_seconds, "seed": seed}
+    if program != expected:
+        raise SnapshotMismatchError(
+            f"campaign checkpoint program {program!r} does not match "
+            f"this campaign {expected!r} — refusing to resume"
+        )
+    return dict(document["state"]["completed"])
+
+
 def run_campaign(scenarios=None, n_seconds=30, seed=0, flight_dir=None,
-                 profile=None):
+                 profile=None, checkpoint_path=None, resume_from=None,
+                 should_stop=None):
     """Sweep ``scenarios`` (default: all) into one resilience report.
 
     ``flight_dir`` and ``profile`` are forwarded to every
     :func:`run_scenario`; neither affects the report bytes.
+
+    :param checkpoint_path: write a campaign snapshot after every
+        completed scenario (crash-resumable; atomic rename).
+    :param resume_from: a campaign snapshot document (or ``None``) —
+        scenarios it already holds are not re-run.  Because each
+        scenario result is a pure function of its parameters, the
+        resumed report is byte-identical to an uninterrupted sweep.
+    :param should_stop: optional zero-arg callable polled between
+        scenarios; truthy → drain and raise
+        :class:`CampaignInterrupted` (its return value is passed
+        through as the signal number).
     """
     names = list(scenarios) if scenarios else sorted(SCENARIOS)
-    results = [
-        run_scenario(name, n_seconds=n_seconds, seed=seed,
-                     flight_dir=flight_dir, profile=profile)
-        for name in names
-    ]
+    completed = {}
+    if resume_from is not None:
+        completed = load_campaign_checkpoint(resume_from, names,
+                                             n_seconds, seed)
+
+    def write_checkpoint():
+        if checkpoint_path is None:
+            return
+        from repro.snapshot.core import write_snapshot
+
+        write_snapshot(
+            checkpoint_path,
+            _campaign_checkpoint_document(names, n_seconds, seed,
+                                          completed),
+        )
+
+    for name in names:
+        if name in completed:
+            continue
+        signum = should_stop() if should_stop is not None else None
+        if signum:
+            write_checkpoint()
+            raise CampaignInterrupted(signum, completed,
+                                      checkpoint_path=checkpoint_path)
+        completed[name] = run_scenario(name, n_seconds=n_seconds,
+                                       seed=seed, flight_dir=flight_dir,
+                                       profile=profile)
+        write_checkpoint()
+    results = [completed[name] for name in names]
     return assemble_campaign(names, n_seconds, seed, results)
 
 

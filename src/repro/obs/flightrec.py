@@ -47,6 +47,16 @@ DEFAULT_CAPACITY = 512
 #: is configured — the resilience layer's own failure edges.
 AUTO_DUMP_TOPICS = frozenset({"degrade.enter", "degrade.watchdog_fire"})
 
+#: Process-wide dump sequence numbers, keyed by ``(directory, reason,
+#: seed)``.  The counter must outlive any single recorder: two recorder
+#: instances in one process (e.g. a campaign scenario and the farm's
+#: quarantine recorder, or two scenarios sharing a ``--flight-dir``)
+#: dumping the same reason and seed would otherwise both compute
+#: sequence 1 and silently overwrite each other's files.  Keying by
+#: directory keeps per-run determinism: a fresh run into a fresh
+#: directory still starts at 1.
+_DUMP_SEQUENCES = {}
+
 
 def kernel_state_summary(kernel, degrade=None):
     """JSON-ready snapshot of the scheduler state *right now*.
@@ -123,7 +133,6 @@ class FlightRecorder:
         self._ring = deque(maxlen=capacity)
         self._kernel = None
         self._bus = None
-        self._dump_seq = {}
 
     @classmethod
     def attach(cls, kernel, capacity=DEFAULT_CAPACITY, dump_dir=None,
@@ -236,13 +245,19 @@ ProbeBus` with no kernel behind it; returns ``self``.
         """Dump into :attr:`dump_dir` under a deterministic name.
 
         ``flightrec-<reason>-seed<seed>.jsonl``, suffixed ``-2``,
-        ``-3`` ... for repeat dumps with the same reason (the sequence
-        is part of the deterministic run, so two executions of the same
-        seed produce identical file sets).
+        ``-3`` ... for repeat dumps with the same reason — counted
+        process-wide per ``(directory, reason, seed)``
+        (:data:`_DUMP_SEQUENCES`), so a *different* recorder instance
+        dumping the same reason and seed into the same directory gets
+        the next suffix instead of overwriting the earlier file.  The
+        sequence is part of the deterministic run: two executions of
+        the same seed into fresh directories produce identical file
+        sets.
         """
         os.makedirs(self.dump_dir, exist_ok=True)
-        sequence = self._dump_seq.get(reason, 0) + 1
-        self._dump_seq[reason] = sequence
+        key = (os.path.abspath(self.dump_dir), reason, self.seed)
+        sequence = _DUMP_SEQUENCES.get(key, 0) + 1
+        _DUMP_SEQUENCES[key] = sequence
         suffix = "" if sequence == 1 else f"-{sequence}"
         name = f"flightrec-{reason}-seed{self.seed}{suffix}.jsonl"
         return self.dump(os.path.join(self.dump_dir, name), reason,

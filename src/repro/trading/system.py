@@ -342,8 +342,15 @@ class RealTimeTradingSystem:
         )
         self.n_seconds = n_seconds
 
-    def run(self):
-        result = self.middleware.run()
+    def start(self):
+        """Plan + spawn without running (snapshot-layer split; see
+        :meth:`repro.core.middleware.RTSeed.start`)."""
+        self.middleware.start()
+
+    def finish(self):
+        """Drain the kernel and build the report (requires
+        :meth:`start`)."""
+        result = self.middleware.finish()
         last_index = self.feed.index_at(self.n_seconds * SEC)
         return TradingReport(
             self.task,
@@ -351,3 +358,7 @@ class RealTimeTradingSystem:
             self.broker,
             self.feed.tick(last_index),
         )
+
+    def run(self):
+        self.start()
+        return self.finish()

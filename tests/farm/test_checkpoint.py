@@ -1,0 +1,233 @@
+"""Farm checkpoints: crash/interrupt resume with invariant reports.
+
+The checkpoint extends worker-count invariance to crash/resume
+invariance: a farm killed mid-batch (worker crash, parent kill, signal
+drain) and re-invoked with the same checkpoint must (a) re-run each
+pending item **exactly once**, (b) never re-run an item the checkpoint
+already holds, and (c) merge a report byte-identical to an
+uninterrupted ``--workers 1`` run.  A checkpoint from a *different*
+batch is refused, and a line torn by a crash mid-write is dropped
+rather than poisoning the resume.
+
+Like ``test_crash.py``, the sabotage tasks are closures over tmp-path
+marker files, so the multiprocess tests force the ``fork`` start
+method.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.farm import (
+    CheckpointMismatchError,
+    FarmInterrupted,
+    farm_check,
+    farm_map,
+    load_farm_checkpoint,
+    render_check_report,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def _executions(log_dir):
+    """Item indices executed so far, from the task's side-effect log."""
+    counts = {}
+    for name in os.listdir(log_dir):
+        index = int(name.split("-")[1])
+        counts[index] = counts.get(index, 0) + 1
+    return counts
+
+
+def _make_task(log_dir, crash_marker=None, crash_item=None):
+    """Task that logs every execution; optionally crashes hard once."""
+    sequence = {"n": 0}
+
+    def task(item):
+        sequence["n"] += 1
+        path = os.path.join(
+            log_dir, f"item-{item}-pid{os.getpid()}-{sequence['n']}"
+        )
+        with open(path, "w") as handle:
+            handle.write("x")
+        if crash_item is not None and item == crash_item \
+                and not os.path.exists(crash_marker):
+            with open(crash_marker, "w") as handle:
+                handle.write("x")
+            os._exit(13)
+        return item * 10
+
+    return task
+
+
+def test_worker_crash_then_resume_runs_pending_exactly_once(tmp_path):
+    checkpoint = str(tmp_path / "farm.ckpt")
+    log_dir = tmp_path / "log"
+    log_dir.mkdir()
+    task = _make_task(str(log_dir), crash_marker=str(tmp_path / "c"),
+                      crash_item=3)
+
+    # first invocation: the shard holding item 3 dies and (with no
+    # retries) quarantines; everything that completed was checkpointed
+    first = farm_map(task, range(6), n_workers=2, context="fork",
+                     max_retries=0, checkpoint_path=checkpoint,
+                     checkpoint_meta={"what": "unit", "n": 6})
+    assert first.quarantined
+    completed = load_farm_checkpoint(checkpoint,
+                                     meta={"what": "unit", "n": 6})
+    assert completed  # the healthy shard landed before the quarantine
+    assert 3 not in completed
+
+    # resume: only the pending indices run, each exactly once
+    for name in os.listdir(log_dir):
+        os.remove(name if os.path.isabs(name)
+                  else os.path.join(log_dir, name))
+    events = []
+    second = farm_map(task, range(6), n_workers=2, context="fork",
+                      checkpoint_path=checkpoint,
+                      checkpoint_meta={"what": "unit", "n": 6},
+                      on_event=lambda topic, data: events.append(topic))
+    assert second.ok
+    assert second.ordered() == [0, 10, 20, 30, 40, 50]
+    assert "farm.resume" in events
+    resumed_counts = _executions(str(log_dir))
+    for index in completed:
+        assert index not in resumed_counts  # never re-run
+    for index in set(range(6)) - set(completed):
+        assert resumed_counts[index] == 1  # exactly once
+
+
+def test_quarantine_record_carries_checkpoint_path(tmp_path):
+    checkpoint = str(tmp_path / "farm.ckpt")
+
+    def task(item):
+        if item % 2 == 0:
+            os._exit(13)
+        return item
+
+    result = farm_map(task, range(4), n_workers=2, context="fork",
+                      max_retries=0, checkpoint_path=checkpoint)
+    assert result.quarantined
+    assert result.quarantined[0]["checkpoint"] == checkpoint
+
+
+def test_resumed_check_report_is_worker_count_invariant(tmp_path):
+    # uninterrupted single-worker reference
+    reference, _ = farm_check(6, seed=11, workers=1)
+
+    # interrupted run: checkpoint only a prefix (as if the parent died
+    # after three items), then resume multi-worker
+    checkpoint = str(tmp_path / "check.ckpt")
+    full, _ = farm_check(6, seed=11, workers=2, context="fork",
+                         checkpoint_path=checkpoint)
+    lines = open(checkpoint).read().splitlines(True)
+    assert len(lines) == 7  # header + one line per item
+    with open(checkpoint, "w") as handle:
+        handle.write("".join(lines[:4]))
+        handle.write(lines[4][: len(lines[4]) // 2])  # torn mid-write
+    resumed, result = farm_check(6, seed=11, workers=2, context="fork",
+                                 checkpoint_path=checkpoint)
+    assert result.ok
+    assert render_check_report(reference) \
+        == render_check_report(full) \
+        == render_check_report(resumed)
+
+
+def test_checkpoint_fingerprint_mismatch_refused(tmp_path):
+    checkpoint = str(tmp_path / "check.ckpt")
+    farm_check(3, seed=11, workers=1, checkpoint_path=checkpoint)
+    with pytest.raises(CheckpointMismatchError):
+        farm_check(4, seed=11, workers=1, checkpoint_path=checkpoint)
+    with pytest.raises(CheckpointMismatchError):
+        farm_check(3, seed=12, workers=1, checkpoint_path=checkpoint)
+
+
+def test_corrupt_interior_line_refused(tmp_path):
+    checkpoint = str(tmp_path / "farm.ckpt")
+    farm_map(lambda item: item, range(3), n_workers=1,
+             checkpoint_path=checkpoint, checkpoint_meta={"n": 3})
+    lines = open(checkpoint).read().splitlines(True)
+    lines[1] = "{corrupt\n"  # not the trailing line: refuse loudly
+    with open(checkpoint, "w") as handle:
+        handle.write("".join(lines))
+    with pytest.raises(CheckpointMismatchError):
+        load_farm_checkpoint(checkpoint, meta={"n": 3})
+
+
+def test_signal_drain_in_process_checkpoints_and_resumes(tmp_path):
+    checkpoint = str(tmp_path / "farm.ckpt")
+    meta = {"what": "drain", "n": 4}
+
+    def task(item):
+        if item == 2:
+            # latched by the farm's handler; the stop check between
+            # items turns it into a graceful drain
+            os.kill(os.getpid(), signal.SIGTERM)
+        return item * 10
+
+    with pytest.raises(FarmInterrupted) as caught:
+        farm_map(task, range(4), n_workers=1,
+                 checkpoint_path=checkpoint, checkpoint_meta=meta,
+                 handle_signals=True)
+    interrupt = caught.value
+    assert interrupt.signum == signal.SIGTERM
+    assert interrupt.checkpoint_path == checkpoint
+    assert "resume from checkpoint" in str(interrupt)
+    # everything before the stop was checkpointed (item 2 completed —
+    # the signal lands after its return)
+    completed = load_farm_checkpoint(checkpoint, meta=meta)
+    assert set(completed) == {0, 1, 2}
+
+    result = farm_map(lambda item: item * 10, range(4), n_workers=1,
+                      checkpoint_path=checkpoint, checkpoint_meta=meta)
+    assert result.ok
+    assert result.ordered() == [0, 10, 20, 30]
+
+
+def test_signal_drain_multiworker_stops_and_resumes(tmp_path):
+    checkpoint = str(tmp_path / "farm.ckpt")
+    meta = {"what": "drain-mp", "n": 6}
+    release = str(tmp_path / "release")
+
+    def task(item):
+        if item == 3:
+            os.kill(os.getppid(), signal.SIGTERM)
+            # wait out the parent's terminate so item 3 never lands
+            import time
+
+            for _ in range(200):
+                if os.path.exists(release):
+                    break
+                time.sleep(0.05)
+        return item * 10
+
+    with pytest.raises(FarmInterrupted) as caught:
+        farm_map(task, range(6), n_workers=2, context="fork",
+                 checkpoint_path=checkpoint, checkpoint_meta=meta,
+                 handle_signals=True)
+    assert caught.value.signum == signal.SIGTERM
+    with open(release, "w") as handle:
+        handle.write("x")
+
+    result = farm_map(lambda item: item * 10, range(6), n_workers=2,
+                      context="fork", checkpoint_path=checkpoint,
+                      checkpoint_meta=meta)
+    assert result.ok
+    assert result.ordered() == [0, 10, 20, 30, 40, 50]
+
+
+def test_header_written_once_and_schema_pinned(tmp_path):
+    checkpoint = str(tmp_path / "farm.ckpt")
+    meta = {"n": 2}
+    farm_map(lambda item: item, range(2), n_workers=1,
+             checkpoint_path=checkpoint, checkpoint_meta=meta)
+    farm_map(lambda item: item, range(2), n_workers=1,
+             checkpoint_path=checkpoint, checkpoint_meta=meta)
+    lines = [json.loads(line)
+             for line in open(checkpoint).read().splitlines()]
+    assert lines[0] == {"schema": "rtseed-farm-checkpoint/1",
+                        "meta": meta}
+    # resume added no duplicate lines: header + the two items
+    assert len(lines) == 3

@@ -124,6 +124,43 @@ def test_miss_during_recovery_restarts_the_met_streak():
     assert not ctl.should_shed()
 
 
+def test_reentry_after_exit_requires_fresh_miss_streak():
+    # regression: the exit branch used to keep the per-task miss
+    # streaks accumulated before/during the episode, so a single miss
+    # right after degrade.exit re-entered degraded mode immediately
+    ctl = DegradedModeController(enter_after=3, exit_after=2)
+    for now in (1.0, 2.0, 3.0):
+        ctl.record_job("hot", False, now)
+    assert ctl.should_shed()
+    ctl.record_job("other", True, 4.0)
+    ctl.record_job("other", True, 5.0)
+    assert not ctl.should_shed()       # exited at t=5
+    ctl.record_job("hot", False, 6.0)  # one miss right after exit...
+    assert not ctl.should_shed()       # ...must NOT re-enter
+    ctl.record_job("hot", False, 7.0)
+    assert not ctl.should_shed()
+    ctl.record_job("hot", False, 8.0)
+    assert ctl.should_shed()           # a fresh full streak re-enters
+    assert ctl.episodes == [(3.0, 5.0)]  # second episode still open
+
+
+def test_exit_resets_met_streak_for_next_episode():
+    # the system-wide met counter must also restart per episode: stale
+    # met credit would let the next episode exit after a single met job
+    ctl = DegradedModeController(enter_after=1, exit_after=2)
+    ctl.record_job("a", False, 1.0)
+    ctl.record_job("a", True, 2.0)
+    ctl.record_job("a", True, 3.0)     # exit at t=3
+    assert not ctl.should_shed()
+    ctl.record_job("a", False, 4.0)    # second episode
+    assert ctl.should_shed()
+    ctl.record_job("a", True, 5.0)
+    assert ctl.should_shed()           # one met is not enough
+    ctl.record_job("a", True, 6.0)
+    assert not ctl.should_shed()
+    assert ctl.episodes == [(1.0, 3.0), (4.0, 6.0)]
+
+
 def test_close_records_open_episode():
     ctl = DegradedModeController(enter_after=1, exit_after=1)
     ctl.record_job("a", False, 7.0)

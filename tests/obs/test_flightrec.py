@@ -141,6 +141,38 @@ def test_repeat_dumps_get_sequence_suffix(tmp_path):
                      "flightrec-edge-seed0.jsonl"]
 
 
+def test_distinct_recorders_same_reason_seed_do_not_collide(tmp_path):
+    # regression: the dump sequence used to live on the instance, so a
+    # second recorder (same reason, same seed, same directory — e.g.
+    # two campaign scenarios sharing a --flight-dir) recomputed
+    # sequence 1 and overwrote the first recorder's file
+    bus1, rec1 = make_recorder(capacity=8, seed=9,
+                               dump_dir=str(tmp_path))
+    bus2, rec2 = make_recorder(capacity=8, seed=9,
+                               dump_dir=str(tmp_path))
+    bus1.publish("kernel.dispatch", which="first")
+    bus2.publish("kernel.dispatch", which="second")
+    path1 = rec1.dump_to_dir("edge")
+    path2 = rec2.dump_to_dir("edge")
+    assert path1 != path2
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == ["flightrec-edge-seed9-2.jsonl",
+                     "flightrec-edge-seed9.jsonl"]
+    # both rings survived — neither dump clobbered the other
+    first = json.loads(open(path1).read().splitlines()[2])
+    second = json.loads(open(path2).read().splitlines()[2])
+    assert first["data"] == {"which": "first"}
+    assert second["data"] == {"which": "second"}
+    # a fresh directory still starts at sequence 1: the counter is
+    # per-directory, so seeded re-runs keep identical file sets
+    fresh = tmp_path / "fresh"
+    bus3, rec3 = make_recorder(capacity=8, seed=9,
+                               dump_dir=str(fresh))
+    bus3.publish("kernel.dispatch")
+    path3 = rec3.dump_to_dir("edge")
+    assert path3.endswith("flightrec-edge-seed9.jsonl")
+
+
 def test_record_failure_dump_matches_returned_snapshot(tmp_path):
     bus, recorder = make_recorder(capacity=8, seed=0,
                                   dump_dir=str(tmp_path))

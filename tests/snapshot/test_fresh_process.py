@@ -1,0 +1,84 @@
+"""The guarantee that matters operationally: restore in a FRESH
+process.
+
+The in-process round-trip (``test_roundtrip``) could in principle lean
+on leftover interpreter state; these tests dump a snapshot in one
+``python -m repro.cli`` process and resume it in another, then require
+the resumed payload to be byte-identical (``cmp`` semantics: exact
+file equality) to an uninterrupted run — on both backends, and for a
+fault-plan scenario.  This is the same flow the CI ``snapshot-smoke``
+job drives.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.tier1
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))),
+    "src",
+)
+
+
+def _cli(args, cwd):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = REPO_SRC
+    environment.pop("RTSEED_ENGINE", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=cwd, env=environment, capture_output=True, text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_fresh_process_resume_is_byte_identical(tmp_path, engine):
+    base = ["snapshot"]
+    program = ["--program", "trade", "--seconds", "4", "--seed", "3",
+               "--engine", engine]
+    run = _cli(base + ["run", *program, "--out", "full.json"],
+               cwd=str(tmp_path))
+    assert run.returncode == 0, run.stdout + run.stderr
+    dump = _cli(base + ["dump", *program, "--at-events", "300",
+                        "--snapshot", "snap.json"], cwd=str(tmp_path))
+    assert dump.returncode == 0, dump.stdout + dump.stderr
+    resume = _cli(base + ["resume", "--snapshot", "snap.json",
+                          "--out", "resumed.json"], cwd=str(tmp_path))
+    assert resume.returncode == 0, resume.stdout + resume.stderr
+    full = (tmp_path / "full.json").read_bytes()
+    resumed = (tmp_path / "resumed.json").read_bytes()
+    assert full == resumed  # cmp-level equality
+
+
+def test_fresh_process_resume_with_fault_plan(tmp_path):
+    base = ["snapshot"]
+    program = ["--program", "faults", "--scenario", "cpu_stall",
+               "--seconds", "5", "--engine", "fast"]
+    run = _cli(base + ["run", *program, "--out", "full.json"],
+               cwd=str(tmp_path))
+    assert run.returncode == 0, run.stdout + run.stderr
+    dump = _cli(base + ["dump", *program, "--at-events", "250",
+                        "--snapshot", "snap.json"], cwd=str(tmp_path))
+    assert dump.returncode == 0, dump.stdout + dump.stderr
+    resume = _cli(base + ["resume", "--snapshot", "snap.json",
+                          "--out", "resumed.json"], cwd=str(tmp_path))
+    assert resume.returncode == 0, resume.stdout + resume.stderr
+    assert (tmp_path / "full.json").read_bytes() \
+        == (tmp_path / "resumed.json").read_bytes()
+
+
+def test_fresh_process_refuses_other_backend(tmp_path):
+    dump = _cli(["snapshot", "dump", "--program", "trade",
+                 "--seconds", "4", "--engine", "fast",
+                 "--at-events", "200", "--snapshot", "snap.json"],
+                cwd=str(tmp_path))
+    assert dump.returncode == 0, dump.stdout + dump.stderr
+    resume = _cli(["snapshot", "resume", "--snapshot", "snap.json",
+                   "--expect-engine", "reference"], cwd=str(tmp_path))
+    assert resume.returncode == 2
+    assert "backend" in resume.stdout

@@ -1,0 +1,150 @@
+"""The load-bearing snapshot guarantee, in-process.
+
+Run-to-barrier → snapshot → restore → run-to-end must produce the
+exact payload (probe-stream hash, metrics, report) of the
+uninterrupted run — on both backends, including under an active fault
+plan.  Plus every refusal path: tampered state, wrong backend, wrong
+seed, barrier past the end of the run.
+"""
+
+import copy
+
+import pytest
+
+from repro.snapshot import (
+    SnapshotError,
+    SnapshotMismatchError,
+    build_program,
+    load_snapshot,
+    render_snapshot,
+    restore,
+    resume_to_end,
+    snapshot,
+    validate_snapshot,
+    write_snapshot,
+)
+
+pytestmark = pytest.mark.tier1
+
+ENGINES = ["reference", "fast"]
+
+
+def _uninterrupted(spec):
+    return build_program(dict(spec)).start().finish()
+
+
+def _snapshot_at(spec, barrier):
+    run = build_program(dict(spec)).start()
+    return snapshot(run, at_events=barrier)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_trade_resume_payload_identical(engine):
+    spec = {"kind": "trade", "seconds": 4, "seed": 3, "engine": engine}
+    expected = _uninterrupted(spec)
+    document = _snapshot_at(spec, 300)
+    assert document["backend"] == engine
+    assert resume_to_end(document) == expected
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_faults_resume_identical_under_active_fault_plan(engine):
+    # cpu_stall keeps its injector live mid-run: the snapshot lands
+    # with armed fault state and the resume must replay it exactly
+    spec = {"kind": "faults", "scenario": "cpu_stall", "seconds": 5,
+            "seed": 0, "engine": engine}
+    expected = _uninterrupted(spec)
+    document = _snapshot_at(spec, 250)
+    payload = resume_to_end(document)
+    assert payload == expected
+    assert payload["scenario"]["injected"]  # faults actually fired
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_overheads_resume_payload_identical(engine):
+    spec = {"kind": "overheads", "np": 4, "jobs": 3, "seed": 1,
+            "engine": engine}
+    expected = _uninterrupted(spec)
+    assert resume_to_end(_snapshot_at(spec, 120)) == expected
+
+
+def test_snapshot_round_trips_through_disk(tmp_path):
+    spec = {"kind": "trade", "seconds": 4, "seed": 3,
+            "engine": "reference"}
+    document = _snapshot_at(spec, 300)
+    path = str(tmp_path / "snap.json")
+    write_snapshot(path, document)
+    loaded = load_snapshot(path)
+    assert loaded == document
+    assert render_snapshot(loaded) == render_snapshot(document)
+    assert resume_to_end(loaded) == _uninterrupted(spec)
+
+
+def test_restore_positions_engine_exactly_at_barrier():
+    spec = {"kind": "trade", "seconds": 4, "seed": 3,
+            "engine": "reference"}
+    document = _snapshot_at(spec, 300)
+    run = restore(document)
+    assert run.kernel.engine.events_processed == 300
+    assert run.kernel.engine.now == document["barrier"]["now"]
+
+
+def test_tampered_state_refused():
+    spec = {"kind": "trade", "seconds": 4, "seed": 3,
+            "engine": "reference"}
+    document = _snapshot_at(spec, 300)
+    tampered = copy.deepcopy(document)
+    tampered["state"]["engine"]["now"] += 1.0
+    with pytest.raises(SnapshotError, match="digest mismatch"):
+        validate_snapshot(tampered)
+
+
+def test_wrong_seed_refused_at_attestation():
+    spec = {"kind": "trade", "seconds": 4, "seed": 3,
+            "engine": "reference"}
+    document = _snapshot_at(spec, 300)
+    forged = copy.deepcopy(document)
+    forged["program"]["seed"] = 4  # a different computation entirely
+    with pytest.raises(SnapshotMismatchError):
+        restore(forged)
+
+
+def test_wrong_backend_refused_before_any_work():
+    spec = {"kind": "trade", "seconds": 4, "seed": 3,
+            "engine": "reference"}
+    document = _snapshot_at(spec, 300)
+    with pytest.raises(SnapshotMismatchError, match="backend"):
+        restore(document, expect_backend="fast")
+
+
+def test_barrier_past_end_of_run_refused():
+    spec = {"kind": "trade", "seconds": 4, "seed": 3,
+            "engine": "reference"}
+    run = build_program(dict(spec)).start()
+    with pytest.raises(SnapshotError, match="drained"):
+        snapshot(run, at_events=10_000_000)
+
+
+def test_unknown_schema_and_program_kind_refused():
+    spec = {"kind": "trade", "seconds": 4, "seed": 3,
+            "engine": "reference"}
+    document = _snapshot_at(spec, 300)
+    wrong_schema = copy.deepcopy(document)
+    wrong_schema["schema"] = "bogus/9"
+    with pytest.raises(SnapshotError, match="schema"):
+        validate_snapshot(wrong_schema)
+    with pytest.raises(SnapshotError, match="unknown program kind"):
+        build_program({"kind": "nope"})
+
+
+def test_backend_pinned_into_spec_against_env(monkeypatch):
+    # a snapshot taken with the process default must restore
+    # identically even when $RTSEED_ENGINE later says otherwise
+    spec = {"kind": "trade", "seconds": 4, "seed": 3, "engine": None}
+    document = _snapshot_at(spec, 300)
+    pinned = document["program"]["engine"]
+    assert pinned in ENGINES
+    other = "fast" if pinned == "reference" else "reference"
+    monkeypatch.setenv("RTSEED_ENGINE", other)
+    run = restore(document)  # spec pin wins over the env
+    assert run.backend.name == pinned
