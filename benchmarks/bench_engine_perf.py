@@ -406,6 +406,81 @@ def snapshot_trajectory_entry(pr, runs=SNAPSHOT_FARM_RUNS,
     }
 
 
+SCALE_CORES = 12
+SCALE_THREADS_PER_CORE = 4
+SCALE_TASKS = 360
+SCALE_WORKERS = 2
+
+
+def bench_scale(n_cores=SCALE_CORES,
+                threads_per_core=SCALE_THREADS_PER_CORE,
+                n_tasks=SCALE_TASKS, workers=SCALE_WORKERS):
+    """Scale-campaign throughput on both engine backends.
+
+    Runs the same full-topology campaign (``repro.scale.farm_scale``)
+    once per backend and reports simulated **jobs per wall-clock
+    minute** — the ROADMAP item 2 "heavy traffic" number — plus the
+    kernel event rate.  The campaign document is byte-deterministic,
+    so both backends must agree on jobs/events; only the wall clock
+    (and hence jobs/minute) differs.  ``cpus`` is recorded because the
+    farm's scaling depends on it.
+    """
+    import os
+
+    from repro.scale import farm_scale
+
+    backends = {}
+    reference_totals = None
+    for backend in ("reference", "fast"):
+        start = time.perf_counter()
+        document, result = farm_scale(
+            n_cores=n_cores, threads_per_core=threads_per_core,
+            n_tasks=n_tasks, engine=backend, workers=workers,
+        )
+        elapsed = time.perf_counter() - start
+        totals = document["totals"]
+        assert result.ok and not totals["violations"], \
+            f"{backend}: campaign not clean"
+        jobs_events = (totals["jobs_done"], totals["events"])
+        if reference_totals is None:
+            reference_totals = jobs_events
+        else:
+            assert jobs_events == reference_totals, \
+                "backends disagree on simulated outcomes"
+        backends[backend] = {
+            "jobs_done": totals["jobs_done"],
+            "events": totals["events"],
+            "wall_seconds": round(elapsed, 3),
+            "jobs_per_minute": round(
+                totals["jobs_done"] / elapsed * 60.0, 1
+            ),
+            "events_per_sec": round(totals["events"] / elapsed, 1),
+        }
+    return {
+        "topology": {"n_cores": n_cores,
+                     "threads_per_core": threads_per_core},
+        "tasks": n_tasks,
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "backends": backends,
+    }
+
+
+def scale_trajectory_entry(pr, n_cores=SCALE_CORES,
+                           threads_per_core=SCALE_THREADS_PER_CORE,
+                           n_tasks=SCALE_TASKS, workers=SCALE_WORKERS):
+    """Scale-campaign measurement shaped for the ``BENCH_engine.json``
+    ``scale_history`` list (one entry covering both backends)."""
+    return {
+        "pr": pr,
+        "seed": 0,
+        "workload": "scale_campaign",
+        "scale": bench_scale(n_cores=n_cores,
+                             threads_per_core=threads_per_core,
+                             n_tasks=n_tasks, workers=workers),
+    }
+
+
 def append_trajectory(path, entry, key="history"):
     """Append ``entry`` to the ``key`` list in ``path``.
 
@@ -442,6 +517,11 @@ def main(argv=None):
                              "entry (farm checkpoint cost + snapshot "
                              "capture cost) to this BENCH_engine.json's "
                              "snapshot_history list")
+    parser.add_argument("--scale-append", default=None, metavar="JSON",
+                        help="append a scale-campaign throughput entry "
+                             "(jobs/minute on both engine backends) to "
+                             "this BENCH_engine.json's scale_history "
+                             "list")
     parser.add_argument("--pr", default="unlabeled",
                         help="PR identifier recorded in the trajectory "
                              "entry (with --append)")
@@ -483,6 +563,17 @@ def main(argv=None):
         )
         append_trajectory(args.snapshot_append, entry,
                           key="snapshot_history")
+        json.dump(entry, sys.stdout, indent=2)
+        print()
+        return
+
+    if args.scale_append:
+        entry = scale_trajectory_entry(
+            args.pr,
+            n_cores=4 if args.quick else SCALE_CORES,
+            n_tasks=24 if args.quick else SCALE_TASKS,
+        )
+        append_trajectory(args.scale_append, entry, key="scale_history")
         json.dump(entry, sys.stdout, indent=2)
         print()
         return

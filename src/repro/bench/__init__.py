@@ -5,6 +5,8 @@
 * :mod:`repro.bench.traces` — Figure 2/3 trace generation.
 * :mod:`repro.bench.reporting` — ASCII series/tables matching the
   paper's presentation.
+* :mod:`repro.bench.sweeps` — the same grids flattened into farmable
+  point lists for ``repro scale --what sweep``.
 """
 
 from repro.bench.overheads import (
@@ -15,6 +17,12 @@ from repro.bench.overheads import (
     run_overhead_experiment,
 )
 from repro.bench.reporting import format_series, format_table
+from repro.bench.sweeps import (
+    ablation_items,
+    figure_items,
+    run_sweep_item,
+    sweep_items,
+)
 from repro.bench.traces import (
     fig2_optional_deadline_traces,
     fig3_remaining_time_traces,
@@ -28,6 +36,10 @@ __all__ = [
     "run_overhead_experiment",
     "format_series",
     "format_table",
+    "ablation_items",
+    "figure_items",
+    "run_sweep_item",
+    "sweep_items",
     "fig2_optional_deadline_traces",
     "fig3_remaining_time_traces",
 ]

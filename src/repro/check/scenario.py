@@ -414,6 +414,101 @@ def _try_generate(rng, seed, fault_rate, fault_sites=FAULT_SITE_MENU):
     )
 
 
+def generate_core_scenario(seed, threads_per_core=4, n_tasks=8,
+                           utilization=0.5, horizon_periods=2):
+    """One *core* of a topology-scaled campaign (deterministic).
+
+    Full-topology campaigns (:mod:`repro.scale`) exploit what
+    partitioned RMWP guarantees by construction: cores are independent
+    once the per-core partitions are schedulable, so a 57-core machine
+    is 57 of these scenarios with independent seeds.  The layout maps
+    one core's hardware threads the way the paper pins the middleware:
+    CPU 0 is the RT hardware thread (every mandatory/wind-up part),
+    CPUs ``1..threads_per_core-1`` are the NRT band where the optional
+    parts run (with ``threads_per_core == 1`` the optional parts share
+    CPU 0 — legal, the NRT band just sits under the RT priorities).
+
+    Unlike :func:`generate_scenario` the optional CPUs are *shared
+    across tasks* (thousands of tasks cannot each own a hardware
+    thread), so these scenarios are **oracle-only**: the theory
+    differential's task-owned-CPU precondition does not hold, but the
+    kernel-trace/protocol/final-state oracles remain exact.  Optional
+    lengths are clamped to always overrun, which keeps per-job work —
+    and therefore campaign throughput numbers — independent of NRT
+    contention.
+
+    The draw is retried until the core's task group passes
+    :meth:`RMWP.is_schedulable`; callers may assert admissibility but
+    never need to filter.
+    """
+    if threads_per_core < 1:
+        raise ValueError(f"threads_per_core must be >= 1, "
+                         f"got {threads_per_core}")
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    rng = np.random.default_rng(seed)
+    for _attempt in range(128):
+        scenario = _try_generate_core(rng, seed, threads_per_core,
+                                      n_tasks, utilization,
+                                      horizon_periods)
+        if scenario is not None:
+            return scenario
+    raise RuntimeError(
+        f"seed {seed}: no RMWP-schedulable {n_tasks}-task core "
+        f"scenario in 128 draws (utilization {utilization})"
+    )
+
+
+def _try_generate_core(rng, seed, threads_per_core, n_tasks,
+                       utilization, horizon_periods):
+    generator = TaskSetGenerator(
+        seed=int(rng.integers(0, 2**31)),
+        harmonic_periods=PERIOD_MENU,
+    )
+    base = generator.extended_task_set(n_tasks, float(utilization),
+                                       n_processors=1)
+    models = [
+        ParallelExtendedImpreciseTask(
+            task.name, task.mandatory, [task.optional], task.windup,
+            task.period,
+        )
+        for task in base
+    ]
+    if not RMWP.is_schedulable(models):
+        return None
+    deadlines = optional_deadlines_rmwp(models)
+
+    max_period = max(model.period for model in models)
+    horizon = max_period * max(1, int(horizon_periods))
+    nrt_cpus = (list(range(1, threads_per_core))
+                if threads_per_core > 1 else [0])
+
+    tasks = []
+    for index, model in enumerate(models):
+        od = deadlines[model.name]
+        # always overrun (see docstring): executed length >= OD
+        length = max(model.optionals[0], od)
+        tasks.append(
+            ScenarioTask(
+                name=model.name,
+                mandatory=model.mandatory,
+                optionals=[length],
+                windup=model.windup,
+                period=model.period,
+                cpu=0,
+                optional_cpus=[nrt_cpus[index % len(nrt_cpus)]],
+                n_jobs=max(1, int(round(horizon / model.period))),
+                optional_deadline=od,
+            )
+        )
+    return Scenario(
+        n_cpus=threads_per_core,
+        start_time=max_period,
+        tasks=tasks,
+        seed=int(seed),
+    )
+
+
 def _draw_fault_plan(rng, seed, max_period, sites=FAULT_SITE_MENU):
     specs = []
     for site in sites:

@@ -47,7 +47,16 @@ Commands
     Run a check batch, engine-diff batch, or fault campaign through
     the parallel scenario farm with a live per-worker status line; the
     merged report is byte-identical at any ``--workers`` count (see
-    docs/FARM.md).
+    docs/FARM.md).  ``farm status`` inspects farm checkpoints on disk
+    instead of running anything.
+
+``scale``
+    Full-topology scale campaigns (docs/FARM.md "Full-topology
+    sweeps"): fill a 57-core x 4-HT Xeon Phi (or any subset) with
+    thousands of RMWP-schedulable tasks, one farm shard per core, or
+    farm the fig-series sweep grid and the three ablations
+    (``--what sweep``).  Worker-count-invariant merged reports,
+    checkpoint/``--resume``, and a jobs/minute throughput line.
 
 ``snapshot``
     Deterministic checkpoint/restore: run a program to completion, dump
@@ -273,6 +282,12 @@ def _add_farm_parser(subparsers):
     parser = subparsers.add_parser(
         "farm", help="parallel scenario farm with live worker status"
     )
+    parser.add_argument("action", nargs="?", default="run",
+                        choices=["run", "status"],
+                        help="run (default): execute a batch; status: "
+                             "inspect farm checkpoints on disk "
+                             "(--checkpoint FILE or --checkpoint-dir "
+                             "DIR) without running anything")
     parser.add_argument("--what", default="check",
                         choices=["check", "engine-diff", "faults"],
                         help="which batch to farm out")
@@ -302,6 +317,61 @@ def _add_farm_parser(subparsers):
                              "resume from it on the next run; also "
                              "enables graceful SIGTERM/SIGINT drain "
                              "(docs/SNAPSHOTS.md)")
+    parser.add_argument("--checkpoint-dir", default=".", metavar="DIR",
+                        help="farm status: directory to scan for farm "
+                             "checkpoints (default: current directory)")
+
+
+def _add_scale_parser(subparsers):
+    parser = subparsers.add_parser(
+        "scale",
+        help="full-topology scale campaigns on the scenario farm",
+    )
+    parser.add_argument("--what", default="campaign",
+                        choices=["campaign", "sweep"],
+                        help="campaign: fill the topology with "
+                             "RMWP-schedulable tasks (one shard per "
+                             "core); sweep: farm the fig-series grid "
+                             "and the three ablations")
+    parser.add_argument("--cores", type=int, default=57,
+                        help="cores of the (subset) Xeon Phi topology")
+    parser.add_argument("--threads-per-core", type=int, default=4,
+                        help="hardware threads per core (1..4)")
+    parser.add_argument("--tasks", type=int, default=2000,
+                        help="total tasks across the topology "
+                             "(campaign)")
+    parser.add_argument("--utilization", type=float, default=0.5,
+                        help="per-core task-set utilization (campaign)")
+    parser.add_argument("--horizon-periods", type=int, default=2,
+                        help="horizon as a multiple of each core's "
+                             "longest period (campaign)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; core k's scenario seed is "
+                             "derive_run_seed(seed, k)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="farm worker processes; the merged report "
+                             "is byte-identical at any count")
+    parser.add_argument("--quick", action="store_true",
+                        help="sweep: smoke-sized point grid")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        help="seconds of worker silence before the "
+                             "parent declares a hang")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="dump the farm flight ring here on "
+                             "quarantine")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the merged JSON report here "
+                             "instead of stdout")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="checkpoint completed shards here; also "
+                             "enables graceful SIGTERM/SIGINT drain "
+                             "(exit code 3)")
+    parser.add_argument("--resume", default=None, metavar="FILE",
+                        help="resume an interrupted campaign from this "
+                             "checkpoint file (same machinery as "
+                             "--checkpoint, spelled for intent; "
+                             "completed shards are skipped)")
+    _add_engine_argument(parser)
 
 
 def _add_snapshot_parser(subparsers):
@@ -926,6 +996,38 @@ def cmd_check(args, out):
     return 1 if failures else 0
 
 
+def _cmd_farm_status(args, out):
+    """``repro farm status``: inspect checkpoints without running.
+
+    A missing or checkpoint-free location reports "no checkpoints" and
+    exits 0 — status is a question, not an assertion.
+    """
+    from repro.farm import inspect_checkpoint, inspect_checkpoint_dir
+
+    if args.checkpoint:
+        summaries = [s for s in [inspect_checkpoint(args.checkpoint)]
+                     if s is not None]
+        where = args.checkpoint
+    else:
+        summaries = inspect_checkpoint_dir(args.checkpoint_dir)
+        where = args.checkpoint_dir
+    if not summaries:
+        print(f"no checkpoints in {where}", file=out)
+        return 0
+    for summary in summaries:
+        meta = summary["meta"] or {}
+        what = meta.get("what", "?")
+        detail = " ".join(
+            f"{key}={meta[key]}" for key in sorted(meta)
+            if key != "what"
+        )
+        torn = " (torn tail)" if summary["torn_tail"] else ""
+        print(f"{summary['path']}: {what} "
+              f"{summary['completed']} item(s) completed{torn}"
+              + (f" [{detail}]" if detail else ""), file=out)
+    return 0
+
+
 def cmd_farm(args, out):
     from repro.farm import (
         DEFAULT_HEARTBEAT,
@@ -934,6 +1036,9 @@ def cmd_farm(args, out):
         farm_check,
         render_check_report,
     )
+
+    if args.action == "status":
+        return _cmd_farm_status(args, out)
 
     progress = _FarmProgress(out)
     heartbeat = (DEFAULT_HEARTBEAT if args.heartbeat is None
@@ -982,6 +1087,78 @@ def cmd_farm(args, out):
             handle.write(rendered)
         print(f"wrote merged report to {args.out}", file=out)
     _farm_status(farm_result, out)
+    if farm_result.quarantined:
+        return 2
+    return 1 if failed else 0
+
+
+def cmd_scale(args, out):
+    from repro.farm import DEFAULT_HEARTBEAT, FarmInterrupted
+    from repro.hardware.xeonphi import XEON_PHI_3120A
+    from repro.scale import farm_scale, farm_scale_sweep, \
+        render_scale_report
+
+    try:
+        spec = XEON_PHI_3120A.subset(args.cores, args.threads_per_core)
+    except ValueError as error:
+        print(f"scale: {error}", file=out)
+        return 2
+    checkpoint = args.resume or args.checkpoint
+    progress = _FarmProgress(out)
+    heartbeat = (DEFAULT_HEARTBEAT if args.heartbeat is None
+                 else args.heartbeat)
+    try:
+        if args.what == "sweep":
+            document, farm_result = farm_scale_sweep(
+                quick=args.quick, seed=args.seed,
+                workers=args.workers, heartbeat=heartbeat,
+                flight_dir=args.flight_dir, on_event=progress,
+                checkpoint_path=checkpoint,
+                handle_signals=bool(checkpoint),
+            )
+            failed = bool(document["errors"])
+        else:
+            document, farm_result = farm_scale(
+                n_cores=spec.n_cores,
+                threads_per_core=spec.threads_per_core,
+                n_tasks=args.tasks,
+                seed=args.seed,
+                utilization=args.utilization,
+                horizon_periods=args.horizon_periods,
+                engine=args.engine,
+                workers=args.workers,
+                heartbeat=heartbeat,
+                flight_dir=args.flight_dir,
+                on_event=progress,
+                checkpoint_path=checkpoint,
+                handle_signals=bool(checkpoint),
+            )
+            failed = bool(document["totals"]["violations"]
+                          or document["total_crashes"]
+                          or document["errors"])
+    except FarmInterrupted as interrupt:
+        print(f"scale: {interrupt}", file=out)
+        return 3
+    rendered = render_scale_report(document)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote merged report to {args.out}", file=out)
+    else:
+        out.write(rendered)
+    _farm_status(farm_result, out)
+    if args.what == "campaign":
+        totals = document["totals"]
+        wall = farm_result.stats.get("wall_seconds") or 0
+        throughput = (f"{totals['jobs_done'] / wall * 60.0:,.0f} "
+                      f"jobs/minute" if wall else "n/a")
+        print(
+            f"scale: {spec.n_cores}c x {spec.threads_per_core}t, "
+            f"{totals['tasks']} task(s), {totals['jobs_done']} job(s) "
+            f"in {totals['events']} kernel events — {throughput} "
+            f"({document['engine']} engine)",
+            file=out,
+        )
     if farm_result.quarantined:
         return 2
     return 1 if failed else 0
@@ -1096,6 +1273,7 @@ _COMMANDS = {
     "faults": cmd_faults,
     "check": cmd_check,
     "farm": cmd_farm,
+    "scale": cmd_scale,
     "snapshot": cmd_snapshot,
 }
 
@@ -1118,6 +1296,7 @@ def build_parser():
     _add_faults_parser(subparsers)
     _add_check_parser(subparsers)
     _add_farm_parser(subparsers)
+    _add_scale_parser(subparsers)
     _add_snapshot_parser(subparsers)
     return parser
 

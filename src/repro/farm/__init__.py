@@ -25,6 +25,8 @@ from repro.farm.checkpoint import (
     FARM_CHECKPOINT_SCHEMA,
     CheckpointMismatchError,
     FarmCheckpoint,
+    inspect_checkpoint,
+    inspect_checkpoint_dir,
     load_farm_checkpoint,
 )
 from repro.farm.core import (
@@ -48,6 +50,8 @@ __all__ = [
     "FARM_CHECKPOINT_SCHEMA",
     "CheckpointMismatchError",
     "FarmCheckpoint",
+    "inspect_checkpoint",
+    "inspect_checkpoint_dir",
     "load_farm_checkpoint",
     "DEFAULT_HEARTBEAT",
     "DEFAULT_RETRIES",

@@ -82,6 +82,68 @@ def load_farm_checkpoint(path, meta=None):
     return completed
 
 
+def inspect_checkpoint(path):
+    """Summary of one checkpoint file, or ``None`` if it is not one.
+
+    Non-checkpoint files (wrong schema, unreadable, empty) return
+    ``None`` instead of raising — ``repro farm status`` points this at
+    whole directories, most of whose files are not checkpoints.  A
+    torn trailing line is tolerated exactly like
+    :func:`load_farm_checkpoint`.
+    """
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return None
+    if not lines:
+        return None
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        return None
+    if (not isinstance(header, dict)
+            or header.get("schema") != FARM_CHECKPOINT_SCHEMA):
+        return None
+    completed = 0
+    torn = False
+    for position, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            if position == len(lines):
+                torn = True
+                break
+            return None  # corrupt mid-file: not a usable checkpoint
+        if isinstance(row, dict) and "index" in row:
+            completed += 1
+    return {
+        "path": path,
+        "meta": header.get("meta"),
+        "completed": completed,
+        "torn_tail": torn,
+    }
+
+
+def inspect_checkpoint_dir(directory):
+    """Summaries of every farm checkpoint in ``directory``, sorted by
+    file name.  A missing, empty, or checkpoint-free directory is a
+    normal answer — the empty list — never an error."""
+    if not directory or not os.path.isdir(directory):
+        return []
+    summaries = []
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path):
+            continue
+        summary = inspect_checkpoint(path)
+        if summary is not None:
+            summaries.append(summary)
+    return summaries
+
+
 class FarmCheckpoint:
     """Append-only checkpoint writer the farm parent drives.
 

@@ -64,6 +64,61 @@ def test_merge_order_stable_under_worker_count(n_items, n_workers):
     assert merged == list(range(n_items))
 
 
+# ---------------------------------------------------------------------------
+# full-topology scale: the `repro scale` campaign shards up to 228
+# hardware threads' worth of workers over batches of thousands of
+# items.  Same properties, full (n_items, n_workers) envelope.
+# ---------------------------------------------------------------------------
+
+scale_counts = st.integers(min_value=0, max_value=4000)
+scale_workers = st.integers(min_value=1, max_value=228)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n_items=scale_counts, n_workers=scale_workers)
+def test_scale_disjoint_exact_cover(n_items, n_workers):
+    shards = partition_shards(n_items, n_workers)
+    assert len(shards) == n_workers
+    flat = [index for shard in shards for index in shard]
+    assert sorted(flat) == list(range(n_items))
+
+
+@settings(max_examples=100, deadline=None)
+@given(n_items=scale_counts, n_workers=scale_workers)
+def test_scale_balanced_within_one(n_items, n_workers):
+    sizes = [len(shard)
+             for shard in partition_shards(n_items, n_workers)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == n_items
+
+
+@settings(max_examples=50, deadline=None)
+@given(n_items=scale_counts,
+       first=scale_workers, second=scale_workers)
+def test_scale_merge_order_worker_count_invariant(n_items, first,
+                                                  second):
+    # the farm merges by sorting payloads on index, so two partitions
+    # of the same batch at different worker counts must recover the
+    # identical serial order — the heart of worker-count invariance
+    merged_first = sorted(
+        index for shard in partition_shards(n_items, first)
+        for index in shard)
+    merged_second = sorted(
+        index for shard in partition_shards(n_items, second)
+        for index in shard)
+    assert merged_first == merged_second == list(range(n_items))
+
+
+@settings(max_examples=50, deadline=None)
+@given(n_items=st.integers(min_value=1, max_value=4000),
+       n_workers=scale_workers)
+def test_scale_shard_of_pure_function_of_index(n_items, n_workers):
+    shards = partition_shards(n_items, n_workers)
+    for shard_id, shard in enumerate(shards):
+        for index in shard:
+            assert shard_of(index, n_workers) == shard_id
+
+
 def test_empty_shards_legal():
     shards = partition_shards(2, 5)
     assert shards == [[0], [1], [], [], []]

@@ -95,6 +95,40 @@ def test_farm_history_parses_against_schema():
         assert farm["speedup"]["1"] == pytest.approx(1.0)
 
 
+#: scale_history length when the scale bench landed; append-only too.
+MIN_SCALE_HISTORY_ENTRIES = 1
+
+REQUIRED_SCALE_ENTRY_KEYS = {"pr", "seed", "workload", "scale"}
+
+
+def test_scale_history_parses_against_schema():
+    scale_history = load_bench()["scale_history"]
+    assert isinstance(scale_history, list)
+    assert len(scale_history) >= MIN_SCALE_HISTORY_ENTRIES, (
+        "scale_history shrank — BENCH_engine.json is append-only"
+    )
+    for entry in scale_history:
+        missing = REQUIRED_SCALE_ENTRY_KEYS - set(entry)
+        assert not missing, f"entry {entry.get('pr')} missing {missing}"
+        assert entry["workload"] == "scale_campaign"
+        scale = entry["scale"]
+        assert scale["topology"]["n_cores"] >= 1
+        assert scale["topology"]["threads_per_core"] >= 1
+        assert scale["tasks"] >= 1
+        assert scale["cpus"] >= 1
+        # one jobs/minute measurement per engine backend, and the
+        # simulated outcomes must agree across backends
+        assert set(scale["backends"]) == {"reference", "fast"}
+        outcomes = {
+            (backend["jobs_done"], backend["events"])
+            for backend in scale["backends"].values()
+        }
+        assert len(outcomes) == 1
+        for backend in scale["backends"].values():
+            assert backend["jobs_per_minute"] > 0
+            assert backend["events_per_sec"] > 0
+
+
 def test_bench_report_renders_without_regression(capsys):
     bench_report = load_bench_report_module()
     regressions = bench_report.render_trajectory(load_bench())

@@ -228,3 +228,67 @@ def test_faults_command_flight_dir(tmp_path):
     names = sorted(p.name for p in tmp_path.iterdir())
     # degraded-mode entry is a failure edge: the recorder auto-dumped
     assert any(name.startswith("flightrec-degrade_enter") for name in names)
+
+
+def test_farm_status_empty_dir(tmp_path):
+    """Regression: a missing or checkpoint-free location is a normal
+    answer ("no checkpoints", exit 0), not a traceback."""
+    code, output = run_cli([
+        "farm", "status", "--checkpoint-dir", str(tmp_path),
+    ])
+    assert code == 0
+    assert "no checkpoints" in output
+
+    missing = tmp_path / "does-not-exist"
+    code, output = run_cli([
+        "farm", "status", "--checkpoint-dir", str(missing),
+    ])
+    assert code == 0
+    assert "no checkpoints" in output
+
+
+def test_farm_status_lists_checkpoints(tmp_path):
+    checkpoint = tmp_path / "scale.jsonl"
+    code, _ = run_cli([
+        "scale", "--cores", "2", "--threads-per-core", "2",
+        "--tasks", "8", "--workers", "1",
+        "--checkpoint", str(checkpoint),
+        "--out", str(tmp_path / "report.json"),
+    ])
+    assert code == 0
+
+    code, output = run_cli([
+        "farm", "status", "--checkpoint-dir", str(tmp_path),
+    ])
+    assert code == 0
+    assert "scale" in output
+    assert "2 item(s) completed" in output
+
+    # pointing at the file directly works too
+    code, output = run_cli(["farm", "status",
+                            "--checkpoint", str(checkpoint)])
+    assert code == 0
+    assert "2 item(s) completed" in output
+
+
+def test_scale_command_workers_invariant(tmp_path):
+    serial = tmp_path / "serial.json"
+    parallel = tmp_path / "parallel.json"
+    code, output = run_cli([
+        "scale", "--cores", "2", "--threads-per-core", "2",
+        "--tasks", "8", "--workers", "1", "--out", str(serial),
+    ])
+    assert code == 0
+    assert "jobs/minute" in output
+    code, _ = run_cli([
+        "scale", "--cores", "2", "--threads-per-core", "2",
+        "--tasks", "8", "--workers", "2", "--out", str(parallel),
+    ])
+    assert code == 0
+    assert serial.read_bytes() == parallel.read_bytes()
+
+
+def test_scale_command_rejects_oversized_topology():
+    code, output = run_cli(["scale", "--cores", "99"])
+    assert code == 2
+    assert "subset" in output
